@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at "smoke"
+scale (small synthetic datasets, short training) so the whole harness runs in
+minutes.  Pass ``--benchmark-only`` to run them; each benchmark prints the
+reproduced table so the numbers are visible in the output, and the
+pytest-benchmark timing records how long the regeneration takes.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once():
+    return run_once

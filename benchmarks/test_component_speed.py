@@ -1,0 +1,55 @@
+"""Micro-benchmarks for the individual substrates (not tied to a paper table).
+
+These catch performance regressions in the pieces the experiment harness
+relies on: KG construction, TransE pre-training, the CGGNN forward pass and
+beam-search inference.
+"""
+
+import pytest
+
+from repro.cggnn import CGGNN, CGGNNConfig
+from repro.darl import CADRL, CADRLConfig
+from repro.data import load_dataset, split_interactions
+from repro.embeddings import TransEConfig, train_transe
+from repro.kg import build_knowledge_graph
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    dataset = load_dataset("beauty", scale=0.4)
+    split = split_interactions(dataset, seed=0)
+    graph, category_graph, builder = build_knowledge_graph(dataset, split.train)
+    transe, _ = train_transe(graph, TransEConfig(embedding_dim=32, epochs=5, seed=0))
+    return dataset, split, graph, category_graph, builder, transe
+
+
+def test_kg_construction_speed(benchmark, small_setup):
+    dataset, split, *_ = small_setup
+    graph, _, _ = benchmark(build_knowledge_graph, dataset, split.train)
+    assert graph.num_triplets > 0
+
+
+def test_transe_epoch_speed(benchmark, small_setup):
+    _, _, graph, *_ = small_setup
+    model, losses = benchmark.pedantic(
+        train_transe, args=(graph, TransEConfig(embedding_dim=32, epochs=2, seed=0)),
+        rounds=1, iterations=1)
+    assert len(losses) == 2
+
+
+def test_cggnn_forward_speed(benchmark, small_setup):
+    _, _, graph, _, _, transe = small_setup
+    model = CGGNN(graph, transe, CGGNNConfig(embedding_dim=32, num_ggnn_layers=2,
+                                             num_category_layers=1, max_neighbors=10,
+                                             max_categories=4, seed=0))
+    output = benchmark(model.forward)
+    assert output.shape[0] == model.table.num_items
+
+
+def test_cadrl_inference_speed(benchmark, small_setup):
+    dataset, split, *_ = small_setup
+    config = CADRLConfig.fast(embedding_dim=32, seed=0)
+    config.darl.epochs = 1
+    model = CADRL(config).fit(dataset, split)
+    items = benchmark(model.recommend_items, 0, 10)
+    assert len(items) == 10

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 3 (GGNN vs. CGAN module contribution)."""
+
+from repro.experiments import fig3_cggnn_modules
+
+
+def test_fig3_beauty(benchmark, bench_once):
+    result = bench_once(benchmark, fig3_cggnn_modules.run, profile="smoke",
+                        datasets=["beauty"])
+    print()
+    print(fig3_cggnn_modules.report(result))
+    metrics = result.metrics["beauty"]
+    assert set(metrics) == {"UCPR", "RGGNN", "RCGAN", "CADRL"}
+    # Reproduction target: the CGGNN-bearing variants beat the UCPR baseline.
+    assert max(metrics["RGGNN"]["ndcg"], metrics["RCGAN"]["ndcg"],
+               metrics["CADRL"]["ndcg"]) >= metrics["UCPR"]["ndcg"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 4 (shared history vs. collaborative reward contribution)."""
+
+from repro.experiments import fig4_darl_modules
+
+
+def test_fig4_beauty(benchmark, bench_once):
+    result = bench_once(benchmark, fig4_darl_modules.run, profile="smoke",
+                        datasets=["beauty"])
+    print()
+    print(fig4_darl_modules.report(result))
+    metrics = result.metrics["beauty"]
+    assert set(metrics) == {"UCPR", "RCRM", "RSHI", "CADRL"}
+    # Reproduction target: the dual-agent variants beat the UCPR baseline.
+    assert max(metrics["RSHI"]["ndcg"], metrics["RCRM"]["ndcg"],
+               metrics["CADRL"]["ndcg"]) >= metrics["UCPR"]["ndcg"]

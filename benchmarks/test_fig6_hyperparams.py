@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 6 (sensitivity to δ, α_pe, α_pc)."""
+
+from repro.experiments import fig6_hyperparams
+
+
+def test_fig6_beauty(benchmark, bench_once):
+    result = bench_once(benchmark, fig6_hyperparams.run, profile="smoke",
+                        datasets=["beauty"], parameters=["delta", "alpha_pc"],
+                        values=[0.1, 0.5, 0.9])
+    print()
+    print(fig6_hyperparams.report(result))
+    for parameter in ("delta", "alpha_pc"):
+        curve = result.precision["beauty"][parameter]
+        assert set(curve) == {0.1, 0.5, 0.9}
+        assert all(value >= 0.0 for value in curve.values())

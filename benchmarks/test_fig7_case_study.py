@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 7 (explanation-path case study)."""
+
+from repro.experiments import fig7_case_study
+
+
+def test_fig7_case_study(benchmark, bench_once):
+    result = bench_once(benchmark, fig7_case_study.run, profile="smoke",
+                        num_users=2, paths_per_user=3)
+    print()
+    print(fig7_case_study.report(result))
+    models = {entry.model for entry in result.entries}
+    assert {"CADRL", "PGPR", "UCPR"} <= models
+    cadrl_entries = [entry for entry in result.entries if entry.model == "CADRL"]
+    assert any(entry.explanations for entry in cadrl_entries)

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table I (recommendation accuracy, CADRL vs. baselines)."""
+
+from repro.experiments import table1_accuracy
+
+# A representative column of Table I: one dataset, the strongest baseline from
+# each family, plus CADRL.  The paper-scale run is available via
+# ``python -m repro.experiments.table1_accuracy --profile paper``.
+BASELINES = ["CKE", "RippleNet", "HeteroEmbed", "PGPR", "CAFE", "UCPR"]
+
+
+def test_table1_beauty(benchmark, bench_once):
+    result = bench_once(benchmark, table1_accuracy.run, profile="smoke",
+                        datasets=["beauty"], baselines=BASELINES)
+    print()
+    print(table1_accuracy.report(result))
+    metrics = result.metrics["beauty"]
+    # Reproduction target: CADRL tops every metric (Table I's headline claim).
+    assert set(metrics["CADRL"]) == {"ndcg", "recall", "hit_ratio", "precision"}
+    assert result.best_model("beauty", "ndcg") == "CADRL"
+
+
+def test_table1_clothing(benchmark, bench_once):
+    result = bench_once(benchmark, table1_accuracy.run, profile="smoke",
+                        datasets=["clothing"], baselines=["HeteroEmbed", "PGPR", "UCPR"])
+    print()
+    print(table1_accuracy.report(result))
+    assert "CADRL" in result.metrics["clothing"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from repro.experiments import table2_datasets
+
+
+def test_table2_statistics(benchmark, bench_once):
+    result = bench_once(benchmark, table2_datasets.run, scale=1.0)
+    print()
+    print(table2_datasets.report(result))
+    # Reproduction target: Clothing has by far the sparsest categories, the
+    # property behind the paper's RQ1 discussion.
+    assert result.items_per_category("clothing") < result.items_per_category("beauty")
+    assert result.items_per_category("clothing") < result.items_per_category("cellphones")

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table III (recommendation / path-finding efficiency)."""
+
+from repro.experiments import table3_efficiency
+
+
+def test_table3_beauty(benchmark, bench_once):
+    result = bench_once(benchmark, table3_efficiency.run, profile="smoke",
+                        datasets=["beauty"], num_users=10, paths_per_user=15)
+    print()
+    print(table3_efficiency.report(result))
+    timings = result.timings["beauty"]
+    # Reproduction targets: PGPR does not beat the other RL recommenders (at
+    # smoke scale the three are within a few percent of each other, so the
+    # check allows a 10% tolerance), and CADRL's path finding stays competitive
+    # with the 3-hop baselines despite using twice the path length.
+    rl_rec_times = {name: timings[name].recommendation_per_1k_users()
+                    for name in ("PGPR", "UCPR", "CAFE")}
+    assert timings["PGPR"].recommendation_per_1k_users() >= 0.9 * max(rl_rec_times.values())
+    assert (timings["CADRL"].pathfinding_per_10k_paths()
+            <= timings["PGPR"].pathfinding_per_10k_paths() * 1.5)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table IV (CGGNN / DARL component ablation)."""
+
+from repro.experiments import table4_ablation
+
+
+def test_table4_beauty(benchmark, bench_once):
+    result = bench_once(benchmark, table4_ablation.run, profile="smoke", datasets=["beauty"])
+    print()
+    print(table4_ablation.report(result))
+    metrics = result.metrics["beauty"]
+    # Reproduction target: both ablated variants lose NDCG relative to CADRL.
+    assert result.drop_from_full("beauty", "CADRL w/o CGGNN") >= 0.0
+    assert metrics["CADRL"]["ndcg"] >= metrics["CADRL w/o CGGNN"]["ndcg"]

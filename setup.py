@@ -1,0 +1,17 @@
+"""Setup shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no `wheel` package, so PEP 660 editable installs
+fail; this shim lets `setup.py develop` handle them instead.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

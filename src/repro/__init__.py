@@ -1,0 +1,18 @@
+"""Reproduction of CADRL (ICDE 2025): category-aware dual-agent RL for
+explainable recommendations over knowledge graphs.
+
+Public API highlights
+---------------------
+* :mod:`repro.data` — synthetic Amazon-style datasets and presets.
+* :mod:`repro.kg` — the knowledge graph and category graph substrates.
+* :mod:`repro.embeddings` — TransE pre-training.
+* :mod:`repro.cggnn` — the category-aware gated graph neural network.
+* :mod:`repro.darl` — the dual-agent RL framework (CADRL proper).
+* :mod:`repro.baselines` — the comparison methods from Table I/III.
+* :mod:`repro.eval` — ranking metrics, timing and explanation tooling.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,80 @@
+"""Baseline recommenders reproduced for the comparison tables (Table I and III)."""
+
+from typing import Callable, Dict, List
+
+from .base import BaselineRecommender
+from .cafe import CAFERecommender
+from .embedding_models import CKERecommender, KGATRecommender
+from .heteroembed import HeteroEmbedRecommender
+from .neural_models import DeepCoNNRecommender, RippleNetRecommender
+from .rl_single import (
+    ADACRecommender,
+    CogERRecommender,
+    INFERRecommender,
+    PGPRRecommender,
+    ReMRRecommender,
+    SingleAgentConfig,
+    SingleAgentRLRecommender,
+    UCPRRecommender,
+)
+from .rulerec import RuleRecRecommender
+from .simple import ItemKNNRecommender, PopularityRecommender
+
+# Factories in the row order of Table I (plus the sanity floors at the top).
+BASELINE_FACTORIES: Dict[str, Callable[[], BaselineRecommender]] = {
+    "Popularity": PopularityRecommender,
+    "ItemKNN": ItemKNNRecommender,
+    "CKE": CKERecommender,
+    "KGAT": KGATRecommender,
+    "DeepCoNN": DeepCoNNRecommender,
+    "RippleNet": RippleNetRecommender,
+    "RuleRec": RuleRecRecommender,
+    "HeteroEmbed": HeteroEmbedRecommender,
+    "PGPR": PGPRRecommender,
+    "ReMR": ReMRRecommender,
+    "ADAC": ADACRecommender,
+    "INFER": INFERRecommender,
+    "CogER": CogERRecommender,
+    "CAFE": CAFERecommender,
+    "UCPR": UCPRRecommender,
+}
+
+TABLE1_BASELINES: List[str] = [
+    "CKE", "KGAT", "DeepCoNN", "RippleNet", "RuleRec", "HeteroEmbed",
+    "PGPR", "ReMR", "ADAC", "INFER", "CogER", "CAFE", "UCPR",
+]
+
+TABLE3_BASELINES: List[str] = ["PGPR", "HeteroEmbed", "UCPR", "CAFE"]
+
+
+def build_baseline(name: str, **kwargs) -> BaselineRecommender:
+    """Instantiate a baseline by its paper name."""
+    if name not in BASELINE_FACTORIES:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINE_FACTORIES)}")
+    return BASELINE_FACTORIES[name](**kwargs)
+
+
+__all__ = [
+    "ADACRecommender",
+    "BASELINE_FACTORIES",
+    "BaselineRecommender",
+    "CAFERecommender",
+    "CKERecommender",
+    "CogERRecommender",
+    "DeepCoNNRecommender",
+    "HeteroEmbedRecommender",
+    "INFERRecommender",
+    "ItemKNNRecommender",
+    "KGATRecommender",
+    "PGPRRecommender",
+    "PopularityRecommender",
+    "ReMRRecommender",
+    "RippleNetRecommender",
+    "RuleRecRecommender",
+    "SingleAgentConfig",
+    "SingleAgentRLRecommender",
+    "TABLE1_BASELINES",
+    "TABLE3_BASELINES",
+    "UCPRRecommender",
+    "build_baseline",
+]

@@ -1,0 +1,78 @@
+"""Common interface and shared plumbing for all baseline recommenders."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..data.schema import InteractionDataset, TrainTestSplit
+from ..data.splits import train_user_items
+
+
+class BaselineRecommender(ABC):
+    """Base class for every comparison method.
+
+    Subclasses implement :meth:`_fit` and :meth:`_score_items`; the base class
+    handles the common bookkeeping: remembering training items per user (which
+    are excluded from recommendations, as in the paper's protocol) and turning
+    scores into a ranked top-k list.
+    """
+
+    name = "baseline"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.dataset: Optional[InteractionDataset] = None
+        self.train_items: Dict[int, Set[int]] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: InteractionDataset, split: TrainTestSplit) -> "BaselineRecommender":
+        """Train on the 70% split; test items are never seen here."""
+        self.dataset = dataset
+        self.train_items = {user: set(items)
+                            for user, items in train_user_items(split).items()}
+        self._fit(dataset, split)
+        self._fitted = True
+        return self
+
+    def recommend_items(self, user_id: int, top_k: int = 10) -> List[int]:
+        """Ranked top-k dataset item ids, excluding the user's training items."""
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}.fit must be called before recommending")
+        scores = self._score_items(user_id)
+        exclude = self.train_items.get(user_id, set())
+        order = np.argsort(-scores)
+        ranked = [int(item) for item in order if int(item) not in exclude]
+        return ranked[:top_k]
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _fit(self, dataset: InteractionDataset, split: TrainTestSplit) -> None:
+        """Model-specific training."""
+
+    @abstractmethod
+    def _score_items(self, user_id: int) -> np.ndarray:
+        """Return a score for every dataset item (higher = better)."""
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def interaction_matrix(dataset: InteractionDataset, split: TrainTestSplit) -> np.ndarray:
+        """Binary user × item matrix of the training interactions."""
+        matrix = np.zeros((dataset.num_users, dataset.num_items))
+        for interaction in split.train:
+            matrix[interaction.user_id, interaction.item_id] = 1.0
+        return matrix
+
+    @staticmethod
+    def item_popularity(dataset: InteractionDataset, split: TrainTestSplit) -> np.ndarray:
+        """Training purchase counts per item."""
+        counts = np.zeros(dataset.num_items)
+        for interaction in split.train:
+            counts[interaction.item_id] += 1.0
+        return counts

@@ -1,0 +1,154 @@
+"""Neural-network recommenders: DeepCoNN and RippleNet (second group of Table I).
+
+* **DeepCoNN** (Zheng et al., 2017): users and items are represented by the
+  aggregated features of their reviews, each side passed through its own MLP
+  before a dot-product match.  Here the "review text" is the feature
+  vocabulary attached to items / mentioned by users.
+* **RippleNet** (Wang et al., 2018): a user's preferences propagate through
+  "ripple sets" — the multi-hop neighbourhoods of their purchased items — and
+  a candidate item is scored by its attention-weighted overlap with those
+  ripple sets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+import numpy as np
+
+from ..data.schema import InteractionDataset, TrainTestSplit
+from ..embeddings import TransEConfig, train_transe
+from ..kg import build_knowledge_graph
+from ..kg.entities import EntityType
+from .base import BaselineRecommender
+
+
+class DeepCoNNRecommender(BaselineRecommender):
+    """Cooperative neural networks over user / item feature profiles."""
+
+    name = "DeepCoNN"
+
+    def __init__(self, hidden_dim: int = 32, epochs: int = 15, learning_rate: float = 0.05,
+                 seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+
+    def _fit(self, dataset: InteractionDataset, split: TrainTestSplit) -> None:
+        rng = np.random.default_rng(self.seed)
+        num_features = max(dataset.num_features, 1)
+
+        # Bag-of-feature profiles (the stand-in for review text).
+        item_profiles = np.zeros((dataset.num_items, num_features))
+        for product in dataset.products:
+            for feature in product.feature_ids:
+                item_profiles[product.item_id, feature] += 1.0
+        user_profiles = np.zeros((dataset.num_users, num_features))
+        for interaction in split.train:
+            for feature in interaction.mentioned_feature_ids:
+                user_profiles[interaction.user_id, feature] += 1.0
+            user_profiles[interaction.user_id] += 0.2 * item_profiles[interaction.item_id]
+
+        item_profiles /= (np.linalg.norm(item_profiles, axis=1, keepdims=True) + 1e-12)
+        user_profiles /= (np.linalg.norm(user_profiles, axis=1, keepdims=True) + 1e-12)
+
+        # One hidden layer per tower, trained with BPR on the matched outputs.
+        self._user_tower = rng.normal(0, 0.1, size=(num_features, self.hidden_dim))
+        self._item_tower = rng.normal(0, 0.1, size=(num_features, self.hidden_dim))
+        self._user_profiles = user_profiles
+        self._item_profiles = item_profiles
+
+        interactions = self.interaction_matrix(dataset, split)
+        users, positives = np.nonzero(interactions)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(users))
+            for index in order:
+                user, positive = users[index], positives[index]
+                negative = int(rng.integers(0, dataset.num_items))
+                if interactions[user, negative] > 0:
+                    continue
+                user_hidden = np.tanh(user_profiles[user] @ self._user_tower)
+                pos_hidden = np.tanh(item_profiles[positive] @ self._item_tower)
+                neg_hidden = np.tanh(item_profiles[negative] @ self._item_tower)
+                difference = float(user_hidden @ (pos_hidden - neg_hidden))
+                sigmoid = 1.0 / (1.0 + np.exp(difference))
+                # Gradient through tanh towers (single hidden layer).
+                grad_user_hidden = sigmoid * (pos_hidden - neg_hidden)
+                grad_pos_hidden = sigmoid * user_hidden
+                grad_neg_hidden = -sigmoid * user_hidden
+                self._user_tower += self.learning_rate * np.outer(
+                    user_profiles[user], grad_user_hidden * (1 - user_hidden**2))
+                self._item_tower += self.learning_rate * (
+                    np.outer(item_profiles[positive], grad_pos_hidden * (1 - pos_hidden**2))
+                    + np.outer(item_profiles[negative], grad_neg_hidden * (1 - neg_hidden**2)))
+
+    def _score_items(self, user_id: int) -> np.ndarray:
+        user_hidden = np.tanh(self._user_profiles[user_id] @ self._user_tower)
+        item_hidden = np.tanh(self._item_profiles @ self._item_tower)
+        return item_hidden @ user_hidden
+
+
+class RippleNetRecommender(BaselineRecommender):
+    """Preference propagation through multi-hop ripple sets."""
+
+    name = "RippleNet"
+
+    def __init__(self, embedding_dim: int = 32, num_hops: int = 2, max_ripple_size: int = 32,
+                 transe_epochs: int = 10, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.embedding_dim = embedding_dim
+        self.num_hops = num_hops
+        self.max_ripple_size = max_ripple_size
+        self.transe_epochs = transe_epochs
+
+    def _fit(self, dataset: InteractionDataset, split: TrainTestSplit) -> None:
+        rng = np.random.default_rng(self.seed)
+        graph, _, builder = build_knowledge_graph(dataset, split.train)
+        transe, _ = train_transe(graph, TransEConfig(embedding_dim=self.embedding_dim,
+                                                     epochs=self.transe_epochs, seed=self.seed))
+        self._item_vectors = np.stack([transe.entity(builder.item_to_entity(item))
+                                       for item in range(dataset.num_items)])
+
+        # Ripple sets: hop-wise neighbourhood entities of each user's purchases.
+        self._ripple_vectors: Dict[int, List[np.ndarray]] = {}
+        for user_id in range(dataset.num_users):
+            seeds = [builder.item_to_entity(item)
+                     for item in self.train_items.get(user_id, set())]
+            hops: List[np.ndarray] = []
+            frontier: Set[int] = set(seeds)
+            visited: Set[int] = set(seeds)
+            for _ in range(self.num_hops):
+                next_frontier: Set[int] = set()
+                for entity in frontier:
+                    for _, tail in graph.outgoing(entity):
+                        if tail not in visited:
+                            next_frontier.add(tail)
+                            visited.add(tail)
+                if not next_frontier:
+                    break
+                sampled = list(next_frontier)
+                if len(sampled) > self.max_ripple_size:
+                    sampled = list(rng.choice(sampled, size=self.max_ripple_size, replace=False))
+                hops.append(np.stack([transe.entity(entity) for entity in sampled]))
+                frontier = set(sampled)
+            if seeds:
+                hops.insert(0, np.stack([transe.entity(entity) for entity in seeds]))
+            self._ripple_vectors[user_id] = hops
+
+    def _score_items(self, user_id: int) -> np.ndarray:
+        hops = self._ripple_vectors.get(user_id, [])
+        if not hops:
+            return np.zeros(self._item_vectors.shape[0])
+        scores = np.zeros(self._item_vectors.shape[0])
+        decay = 1.0
+        for hop_vectors in hops:
+            # Attention of each candidate item over this hop's ripple entities.
+            similarity = self._item_vectors @ hop_vectors.T      # (items, ripple)
+            attention = np.exp(similarity - similarity.max(axis=1, keepdims=True))
+            attention /= attention.sum(axis=1, keepdims=True)
+            preference = attention @ hop_vectors                  # (items, dim)
+            scores += decay * np.sum(preference * self._item_vectors, axis=1)
+            decay *= 0.5
+        return scores

@@ -1,0 +1,108 @@
+"""RuleRec: rule-guided recommendation over the KG (Ma et al., 2019).
+
+RuleRec mines relation-sequence rules ("meta-knowledge") that connect a user's
+purchased items to other items — e.g. ``purchase → also_bought`` or
+``purchase → produced_by → rev_produced_by`` — weighs each rule by its
+confidence on the training data, and scores candidate items by the weighted
+number of rule instances that reach them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from itertools import product as cartesian_product
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..data.schema import InteractionDataset, TrainTestSplit
+from ..kg import build_knowledge_graph
+from ..kg.entities import EntityType
+from ..kg.relations import Relation
+from .base import BaselineRecommender
+
+Rule = Tuple[Relation, ...]
+
+# Item-to-item rule vocabulary (applied after the initial purchase hop).
+_CANDIDATE_RULES: List[Rule] = [
+    (Relation.ALSO_BOUGHT,),
+    (Relation.ALSO_VIEWED,),
+    (Relation.BOUGHT_TOGETHER,),
+    (Relation.PRODUCED_BY, Relation.REV_PRODUCED_BY),
+    (Relation.DESCRIBED_BY, Relation.REV_DESCRIBED_BY),
+    (Relation.ALSO_BOUGHT, Relation.ALSO_BOUGHT),
+    (Relation.ALSO_VIEWED, Relation.ALSO_BOUGHT),
+    (Relation.ALSO_BOUGHT, Relation.BOUGHT_TOGETHER),
+]
+
+
+class RuleRecRecommender(BaselineRecommender):
+    """Rule-mining recommender over item-to-item meta-paths."""
+
+    name = "RuleRec"
+
+    def __init__(self, max_rule_support: int = 2000, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.max_rule_support = max_rule_support
+        self.rule_weights: Dict[Rule, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def _fit(self, dataset: InteractionDataset, split: TrainTestSplit) -> None:
+        graph, _, builder = build_knowledge_graph(dataset, split.train)
+        self._graph = graph
+        self._builder = builder
+
+        # Confidence of each rule: among item pairs (a, b) connected by the rule
+        # where `a` was purchased by some user, how often was `b` also
+        # purchased by the same user?
+        user_items = {user: set(items) for user, items in self.train_items.items()}
+        self.rule_weights = {}
+        for rule in _CANDIDATE_RULES:
+            support = 0
+            correct = 0
+            for user_id, items in user_items.items():
+                for item in items:
+                    reached = self._apply_rule(builder.item_to_entity(item), rule)
+                    for entity in reached:
+                        target_item = builder.entity_to_item(entity)
+                        if target_item is None or target_item == item:
+                            continue
+                        support += 1
+                        if target_item in items:
+                            correct += 1
+                        if support >= self.max_rule_support:
+                            break
+                    if support >= self.max_rule_support:
+                        break
+                if support >= self.max_rule_support:
+                    break
+            self.rule_weights[rule] = correct / support if support else 0.0
+
+    def _apply_rule(self, start_entity: int, rule: Rule) -> List[int]:
+        """Entities reachable from ``start_entity`` by following ``rule`` exactly."""
+        frontier = [start_entity]
+        for relation in rule:
+            next_frontier: List[int] = []
+            for entity in frontier:
+                for edge_relation, tail in self._graph.outgoing(entity):
+                    if edge_relation == relation:
+                        next_frontier.append(tail)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    # ------------------------------------------------------------------ #
+    def _score_items(self, user_id: int) -> np.ndarray:
+        scores = np.zeros(self.dataset.num_items)
+        purchased = self.train_items.get(user_id, set())
+        for item in purchased:
+            start = self._builder.item_to_entity(item)
+            for rule, weight in self.rule_weights.items():
+                if weight <= 0.0:
+                    continue
+                for entity in self._apply_rule(start, rule):
+                    target = self._builder.entity_to_item(entity)
+                    if target is not None and target != item:
+                        scores[target] += weight
+        return scores

@@ -1,0 +1,53 @@
+"""Non-KG floors: popularity and item-item collaborative filtering.
+
+These are not in the paper's tables but serve as sanity floors for tests and
+for calibrating the synthetic datasets — every KG-aware method should beat
+popularity, and the generator is tuned so that it does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.schema import InteractionDataset, TrainTestSplit
+from .base import BaselineRecommender
+
+
+class PopularityRecommender(BaselineRecommender):
+    """Rank items by their global training purchase count."""
+
+    name = "Popularity"
+
+    def _fit(self, dataset: InteractionDataset, split: TrainTestSplit) -> None:
+        self._scores = self.item_popularity(dataset, split)
+
+    def _score_items(self, user_id: int) -> np.ndarray:
+        return self._scores
+
+
+class ItemKNNRecommender(BaselineRecommender):
+    """Item-item cosine collaborative filtering over the training matrix."""
+
+    name = "ItemKNN"
+
+    def __init__(self, num_neighbors: int = 20, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        if num_neighbors <= 0:
+            raise ValueError("num_neighbors must be positive")
+        self.num_neighbors = num_neighbors
+
+    def _fit(self, dataset: InteractionDataset, split: TrainTestSplit) -> None:
+        matrix = self.interaction_matrix(dataset, split)
+        norms = np.linalg.norm(matrix, axis=0, keepdims=True) + 1e-12
+        normalised = matrix / norms
+        similarity = normalised.T @ normalised
+        np.fill_diagonal(similarity, 0.0)
+        # Keep only the strongest neighbours per item (sparsify).
+        if similarity.shape[0] > self.num_neighbors:
+            threshold = np.sort(similarity, axis=1)[:, -self.num_neighbors][:, None]
+            similarity = np.where(similarity >= threshold, similarity, 0.0)
+        self._similarity = similarity
+        self._matrix = matrix
+
+    def _score_items(self, user_id: int) -> np.ndarray:
+        return self._matrix[user_id] @ self._similarity

@@ -1,0 +1,22 @@
+"""Category-aware Gated Graph Neural Network (CGGNN) — paper Section IV-B."""
+
+from .category_attention import CategoryAttentionLayer
+from .gating import GatedAggregationLayer
+from .model import CGGNN, CGGNNConfig, Representations
+from .neighbourhood import NeighbourhoodTable, build_neighbourhood_table
+from .propagation import AdaptivePropagationLayer
+from .trainer import CGGNNTrainer, CGGNNTrainingConfig, train_cggnn
+
+__all__ = [
+    "AdaptivePropagationLayer",
+    "CGGNN",
+    "CGGNNConfig",
+    "CGGNNTrainer",
+    "CGGNNTrainingConfig",
+    "CategoryAttentionLayer",
+    "GatedAggregationLayer",
+    "NeighbourhoodTable",
+    "Representations",
+    "build_neighbourhood_table",
+    "train_cggnn",
+]

@@ -1,0 +1,46 @@
+"""Gated aggregation layer of the GGNN (Eq. 4-7).
+
+The neighbourhood message ``n_vi`` produced by the adaptive propagation layer
+is fused with the item's own representation through GRU-style update and reset
+gates, which is how the paper suppresses the noise introduced by semantic
+decay over multi-hop neighbourhoods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+
+
+class GatedAggregationLayer(nn.Module):
+    """GRU-style fusion of the neighbourhood message with the self embedding."""
+
+    def __init__(self, embedding_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        rng = rng or np.random.default_rng()
+        self.embedding_dim = embedding_dim
+        # Eq. 4: update gate z_i
+        self.update_from_message = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        self.update_from_self = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        # Eq. 5: reset gate v̂_i
+        self.reset_from_message = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        self.reset_from_self = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        # Eq. 6: candidate state v_i
+        self.candidate_from_message = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        self.candidate_from_gated = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+
+    def forward(self, message: Tensor, item_states: Tensor) -> Tensor:
+        """Fuse ``message`` (n_vi) with ``item_states`` (h_vi^{k-1}); both (I, d)."""
+        update_gate = F.sigmoid(self.update_from_message(message)
+                                + self.update_from_self(item_states))          # Eq. 4
+        reset_gate = F.sigmoid(self.reset_from_message(message)
+                               + self.reset_from_self(item_states))            # Eq. 5
+        candidate = F.tanh(self.candidate_from_message(message)
+                           + self.candidate_from_gated(reset_gate * item_states))  # Eq. 6
+        return (1.0 - update_gate) * item_states + update_gate * candidate     # Eq. 7

@@ -1,0 +1,67 @@
+"""Adaptive propagation layer of the GGNN (Eq. 1-3).
+
+For every item ``v_i`` and neighbour ``(r, e_j)`` the layer
+
+1. forms the triplet representation ``t = σ(W1 [h_vi ⊕ h_ej ⊕ h_r ⊕ h_rp])``
+   where ``h_rp`` is the embedding of the *purchase* relation, injected so the
+   attention can judge how relevant a neighbour is to shopping behaviour;
+2. computes the scalar attention ``α = σ(W2 t + b)``;
+3. aggregates ``n_vi = Σ_out α · W_out (h_ej ∘ h_r) + Σ_in α · W_in (h_ej ∘ h_r)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+
+
+class AdaptivePropagationLayer(nn.Module):
+    """One message-passing step over padded item neighbourhoods."""
+
+    def __init__(self, embedding_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        rng = rng or np.random.default_rng()
+        self.embedding_dim = embedding_dim
+        self.triplet_transform = nn.Linear(4 * embedding_dim, embedding_dim, rng=rng)
+        self.attention = nn.Linear(embedding_dim, 1, rng=rng)
+        self.transform_out = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+        self.transform_in = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+
+    def forward(self, item_states: Tensor, neighbor_states: Tensor,
+                relation_states: Tensor, purchase_state: Tensor,
+                neighbor_mask: np.ndarray, neighbor_is_outgoing: np.ndarray) -> Tensor:
+        """Return the aggregated neighbourhood message ``n_vi`` for every item.
+
+        Shapes: ``item_states`` (I, d); ``neighbor_states`` and
+        ``relation_states`` (I, N, d); ``purchase_state`` (d,);
+        masks (I, N).  Output (I, d).
+        """
+        num_items, max_neighbors, dim = neighbor_states.shape
+
+        # Broadcast the item state and the purchase-relation embedding over the
+        # neighbour axis so the concatenation of Eq. 1 can be done in one shot.
+        item_tiled = item_states.reshape(num_items, 1, dim) * Tensor(
+            np.ones((1, max_neighbors, 1)))
+        purchase_tiled = purchase_state.reshape(1, 1, dim) * Tensor(
+            np.ones((num_items, max_neighbors, 1)))
+
+        triplet_input = nn.concat(
+            [item_tiled, neighbor_states, relation_states, purchase_tiled], axis=-1)
+        triplet_repr = F.sigmoid(self.triplet_transform(triplet_input))       # Eq. 1
+        attention = F.sigmoid(self.attention(triplet_repr))                   # Eq. 2 (I, N, 1)
+
+        mask = Tensor(neighbor_mask[..., None])
+        outgoing = Tensor(neighbor_is_outgoing[..., None])
+        incoming = Tensor((1.0 - neighbor_is_outgoing)[..., None])
+
+        interaction = neighbor_states * relation_states                       # h_ej ∘ h_r
+        message_out = self.transform_out(interaction) * outgoing
+        message_in = self.transform_in(interaction) * incoming
+        weighted = attention * mask * (message_out + message_in)              # Eq. 3
+        return weighted.sum(axis=1)

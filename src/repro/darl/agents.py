@@ -1,0 +1,162 @@
+"""The category agent and the entity agent (Section IV-C.1 and IV-C.2).
+
+Each agent bundles its environment view with the shared policy networks and
+exposes a single ``decide`` method that scores the candidate actions, samples
+(or greedily picks) one, and advances its history encoder.  The trainer and
+the beam-search inference both drive the agents exclusively through this
+interface, so training-time and inference-time behaviour cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kg.pruning import Action
+from ..kg.relations import Relation
+from ..nn import Tensor
+from ..nn import functional as F
+from ..rl.environment import CategoryEnvironment, CategoryState, EntityEnvironment, EntityState
+from .collaborative import GuidanceModel, action_target_categories
+from .shared_policy import LSTMState, SharedPolicyNetworks
+
+
+@dataclass
+class CategoryDecision:
+    """Outcome of one category-agent step."""
+
+    actions: List[int]
+    probabilities: np.ndarray
+    chosen_index: int
+    chosen_category: int
+    log_prob: Tensor
+    entropy: Tensor
+    new_hidden: Tensor
+    new_lstm_state: LSTMState
+
+    @property
+    def alternative_categories(self) -> List[int]:
+        return [c for i, c in enumerate(self.actions) if i != self.chosen_index]
+
+    @property
+    def alternative_probabilities(self) -> List[float]:
+        return [float(p) for i, p in enumerate(self.probabilities) if i != self.chosen_index]
+
+
+@dataclass
+class EntityDecision:
+    """Outcome of one entity-agent step."""
+
+    actions: List[Action]
+    base_logits: np.ndarray
+    target_categories: List[Optional[int]]
+    probabilities: np.ndarray
+    chosen_index: int
+    chosen_action: Action
+    log_prob: Tensor
+    entropy: Tensor
+    new_hidden: Tensor
+    new_lstm_state: LSTMState
+
+
+class CategoryAgent:
+    """Walks the category knowledge graph ``Gc`` and emits milestone guidance."""
+
+    def __init__(self, environment: CategoryEnvironment, policy: SharedPolicyNetworks) -> None:
+        self.environment = environment
+        self.policy = policy
+
+    def decide(self, state: CategoryState, partner_hidden: Optional[Tensor],
+               history_hidden: Tensor, lstm_state: LSTMState,
+               rng: np.random.Generator, greedy: bool = False) -> CategoryDecision:
+        """Score candidate categories, pick one, and advance the history LSTM."""
+        actions = self.environment.actions(state)
+        action_matrix = self.environment.action_matrix(actions)
+        user_vector = self.environment.representations.entity_vector(state.user_entity)
+        current_vector = self.environment.representations.category_vector(state.current_category)
+
+        logits = self.policy.category_action_logits(user_vector, current_vector,
+                                                    history_hidden, action_matrix)
+        log_probs = F.log_softmax(logits, axis=-1)
+        entropy = -(log_probs.exp() * log_probs).sum()
+        probabilities = np.exp(log_probs.data)
+        probabilities = probabilities / probabilities.sum()
+
+        if greedy:
+            chosen_index = int(np.argmax(probabilities))
+        else:
+            chosen_index = int(rng.choice(len(actions), p=probabilities))
+        chosen_category = actions[chosen_index]
+
+        chosen_vector = self.environment.representations.category_vector(chosen_category)
+        new_hidden, new_lstm_state = self.policy.encode_category_step(
+            chosen_vector, partner_hidden, lstm_state)
+
+        return CategoryDecision(
+            actions=actions,
+            probabilities=probabilities,
+            chosen_index=chosen_index,
+            chosen_category=chosen_category,
+            log_prob=log_probs[chosen_index],
+            entropy=entropy,
+            new_hidden=new_hidden,
+            new_lstm_state=new_lstm_state,
+        )
+
+
+class EntityAgent:
+    """Walks the entity-level KG under (optional) category guidance."""
+
+    def __init__(self, environment: EntityEnvironment, policy: SharedPolicyNetworks,
+                 guidance: Optional[GuidanceModel] = None) -> None:
+        self.environment = environment
+        self.policy = policy
+        self.guidance = guidance or GuidanceModel()
+
+    def decide(self, state: EntityState, last_relation: Relation,
+               partner_hidden: Optional[Tensor], history_hidden: Tensor,
+               lstm_state: LSTMState, rng: np.random.Generator,
+               guided_category: Optional[int] = None, greedy: bool = False) -> EntityDecision:
+        """Score candidate hops (with guidance), pick one, advance the LSTM."""
+        actions = self.environment.actions(state, target_category=guided_category)
+        action_matrix = self.environment.action_matrix(actions)
+        entity_vector = self.environment.representations.entity_vector(state.current_entity)
+        relation_vector = self.environment.representations.relation_vector(last_relation)
+
+        logits = self.policy.entity_action_logits(entity_vector, relation_vector,
+                                                  history_hidden, action_matrix)
+        target_categories = action_target_categories(self.environment.graph, actions)
+        bonus = self.guidance.guidance_bonus(target_categories, guided_category)
+        guided_logits = logits + Tensor(bonus)
+
+        log_probs = F.log_softmax(guided_logits, axis=-1)
+        entropy = -(log_probs.exp() * log_probs).sum()
+        probabilities = np.exp(log_probs.data)
+        probabilities = probabilities / probabilities.sum()
+
+        if greedy:
+            chosen_index = int(np.argmax(probabilities))
+        else:
+            chosen_index = int(rng.choice(len(actions), p=probabilities))
+        chosen_action = actions[chosen_index]
+
+        chosen_relation_vector = self.environment.representations.relation_vector(
+            chosen_action[0])
+        chosen_entity_vector = self.environment.representations.entity_vector(chosen_action[1])
+        new_hidden, new_lstm_state = self.policy.encode_entity_step(
+            chosen_relation_vector, chosen_entity_vector, partner_hidden, lstm_state)
+
+        return EntityDecision(
+            actions=actions,
+            base_logits=np.array(logits.data, copy=True),
+            target_categories=target_categories,
+            probabilities=probabilities,
+            chosen_index=chosen_index,
+            chosen_action=chosen_action,
+            log_prob=log_probs[chosen_index],
+            entropy=entropy,
+            new_hidden=new_hidden,
+            new_lstm_state=new_lstm_state,
+        )

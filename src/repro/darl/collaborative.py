@@ -1,0 +1,73 @@
+"""Counterfactual guidance modelling for the collaborative reward mechanism.
+
+The category agent influences the entity agent by biasing the entity policy
+towards actions that land in the guided category.  The KL-based partner reward
+(Eq. 17-18) asks the counterfactual question "how different would the entity
+policy have been under another category?" — this module computes exactly that
+from a single set of base logits, which keeps the reward cheap even with many
+alternative categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from ..kg.pruning import Action
+from ..rl.rewards import guidance_reward
+
+
+def action_target_categories(graph: KnowledgeGraph, actions: Sequence[Action]
+                             ) -> List[Optional[int]]:
+    """Category of each action's target entity (``None`` for non-items)."""
+    return [graph.category_of(target) for _, target in actions]
+
+
+@dataclass
+class GuidanceModel:
+    """Turns base entity logits + a guided category into guided distributions.
+
+    ``strength`` is the logit bonus added to actions whose target item lies in
+    the guided category; it plays the role of the causal intervention of the
+    category action on the entity policy.
+    """
+
+    strength: float = 2.0
+
+    def guided_probabilities(self, base_logits: np.ndarray,
+                             target_categories: Sequence[Optional[int]],
+                             guided_category: Optional[int]) -> np.ndarray:
+        """``p(a^e | a^c = guided_category, s^e)`` as a NumPy distribution."""
+        logits = np.asarray(base_logits, dtype=np.float64).copy()
+        if guided_category is not None:
+            bonus = np.array([self.strength if category == guided_category else 0.0
+                              for category in target_categories])
+            logits = logits + bonus
+        logits = logits - logits.max()
+        probabilities = np.exp(logits)
+        return probabilities / probabilities.sum()
+
+    def guidance_bonus(self, target_categories: Sequence[Optional[int]],
+                       guided_category: Optional[int]) -> np.ndarray:
+        """The additive logit bonus used when *sampling* the entity action."""
+        if guided_category is None:
+            return np.zeros(len(target_categories))
+        return np.array([self.strength if category == guided_category else 0.0
+                         for category in target_categories])
+
+    def kl_guidance_reward(self, base_logits: np.ndarray,
+                           target_categories: Sequence[Optional[int]],
+                           chosen_category: int,
+                           alternative_categories: Sequence[int],
+                           category_probabilities: Optional[Sequence[float]] = None) -> float:
+        """Partner reward R^pc of Eq. 17-18 for one recommendation step."""
+        conditional = self.guided_probabilities(base_logits, target_categories,
+                                                chosen_category)
+        counterfactuals = [
+            self.guided_probabilities(base_logits, target_categories, alternative)
+            for alternative in alternative_categories
+        ]
+        return guidance_reward(conditional, counterfactuals, category_probabilities)

@@ -1,0 +1,236 @@
+"""Beam-search inference: from a trained policy to top-k items + explanation paths.
+
+The paper's recommendation protocol searches paths from each user and ranks
+the reached items; the path itself is the explanation (Fig. 7).  This module
+performs a guided beam search:
+
+* the **category agent** rolls out one greedy milestone trajectory per user —
+  a single category-level path, exactly as in training;
+* the **entity agent** expands a beam of KG walks, scored by the shared policy
+  with the guidance bonus towards the current milestone.
+
+Inference never needs gradients, so it runs on the policy's NumPy fast path;
+this is what the efficiency study (Table III) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..cggnn.model import Representations
+from ..kg.category_graph import CategoryGraph
+from ..kg.graph import KnowledgeGraph
+from ..kg.relations import Relation
+from ..rl.environment import CategoryEnvironment, CategoryState, EntityEnvironment, EntityState
+from ..rl.trajectory import RecommendationPath
+from .collaborative import GuidanceModel, action_target_categories
+from .shared_policy import SharedPolicyNetworks
+
+NumpyLSTMState = Tuple[np.ndarray, np.ndarray]
+
+
+@dataclass
+class InferenceConfig:
+    """Beam-search hyper-parameters."""
+
+    beam_width: int = 20
+    expansions_per_beam: int = 3
+    top_k: int = 10
+    min_path_length: int = 2
+
+    def validate(self) -> None:
+        if self.beam_width <= 0 or self.expansions_per_beam <= 0 or self.top_k <= 0:
+            raise ValueError("beam-search sizes must be positive")
+
+
+@dataclass
+class _Beam:
+    """Internal beam-search state (one partial entity-agent walk)."""
+
+    entity_state: EntityState
+    entity_hidden: np.ndarray
+    entity_lstm: NumpyLSTMState
+    last_relation: Relation
+    log_prob: float
+    hops: Tuple[Tuple[Relation, int], ...] = ()
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    return shifted - np.log(np.exp(shifted).sum())
+
+
+class PathRecommender:
+    """Turns a trained policy into ranked recommendations with explanations."""
+
+    def __init__(self, graph: KnowledgeGraph, category_graph: CategoryGraph,
+                 representations: Representations, policy: SharedPolicyNetworks,
+                 guidance: Optional[GuidanceModel] = None,
+                 max_path_length: int = 6, max_entity_actions: int = 50,
+                 max_category_actions: int = 10, use_dual_agent: bool = True,
+                 config: Optional[InferenceConfig] = None) -> None:
+        self.graph = graph
+        self.representations = representations
+        self.policy = policy
+        self.guidance = guidance or GuidanceModel()
+        self.max_path_length = max_path_length
+        self.use_dual_agent = use_dual_agent
+        self.config = config or InferenceConfig()
+        self.config.validate()
+        self.entity_environment = EntityEnvironment(graph, representations,
+                                                    max_actions=max_entity_actions)
+        self.category_environment = CategoryEnvironment(category_graph, graph, representations,
+                                                        max_actions=max_category_actions)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def recommend(self, user_entity: int, exclude_items: Optional[Set[int]] = None,
+                  top_k: Optional[int] = None) -> List[RecommendationPath]:
+        """Top-k recommended items for a user, each with its best explanation path."""
+        exclude = exclude_items or set()
+        k = top_k or self.config.top_k
+        candidates = self._search(user_entity, exclude)
+        ranked = sorted(candidates.values(), key=lambda path: path.score, reverse=True)
+        return ranked[:k]
+
+    def recommend_batch(self, user_entities: Sequence[int],
+                        exclude_items: Optional[Dict[int, Set[int]]] = None,
+                        top_k: Optional[int] = None) -> Dict[int, List[RecommendationPath]]:
+        """Recommendations for many users (used by the evaluation harness)."""
+        exclude_items = exclude_items or {}
+        return {
+            user: self.recommend(user, exclude_items.get(user, set()), top_k)
+            for user in user_entities
+        }
+
+    def find_paths(self, user_entity: int, num_paths: int) -> List[RecommendationPath]:
+        """Enumerate up to ``num_paths`` item-terminated paths (efficiency metric).
+
+        This is the "path finding" workload of Table III: raw path discovery
+        without the top-k ranking step.
+        """
+        candidates = self._search(user_entity, exclude_items=set(), keep_all_paths=True)
+        paths = sorted(candidates.values(), key=lambda path: path.score, reverse=True)
+        return paths[:num_paths]
+
+    # ------------------------------------------------------------------ #
+    # category milestone trajectory (one per user, greedy)
+    # ------------------------------------------------------------------ #
+    def _category_milestones(self, user_entity: int) -> List[Optional[int]]:
+        """Greedy category-level path of length ``max_path_length``."""
+        if not self.use_dual_agent:
+            return [None] * self.max_path_length
+        start = self.category_environment.start_category_for(user_entity)
+        state = self.category_environment.initial_state(user_entity, start)
+        lstm_state = self.policy.initial_state_numpy()
+        hidden, lstm_state = self.policy.encode_category_step_numpy(
+            self.representations.category_vector(start), None, lstm_state)
+        user_vector = self.representations.entity_vector(user_entity)
+
+        milestones: List[Optional[int]] = []
+        for _ in range(self.max_path_length):
+            actions = self.category_environment.actions(state)
+            action_matrix = self.category_environment.action_matrix(actions)
+            logits = self.policy.category_action_logits_numpy(
+                user_vector, self.representations.category_vector(state.current_category),
+                hidden, action_matrix)
+            chosen = actions[int(np.argmax(logits))]
+            milestones.append(chosen)
+            state = self.category_environment.step(state, chosen)
+            hidden, lstm_state = self.policy.encode_category_step_numpy(
+                self.representations.category_vector(chosen), hidden, lstm_state)
+        return milestones
+
+    # ------------------------------------------------------------------ #
+    # beam search over the entity-level KG
+    # ------------------------------------------------------------------ #
+    def _search(self, user_entity: int, exclude_items: Set[int],
+                keep_all_paths: bool = False) -> Dict[int, RecommendationPath]:
+        milestones = self._category_milestones(user_entity)
+        beams = [self._initial_beam(user_entity)]
+        found: Dict[int, RecommendationPath] = {}
+
+        for depth in range(1, self.max_path_length + 1):
+            guided_category = milestones[depth - 1]
+            expansions: List[_Beam] = []
+            for beam in beams:
+                expansions.extend(self._expand(beam, guided_category))
+            if not expansions:
+                break
+            expansions.sort(key=lambda candidate: candidate.log_prob, reverse=True)
+            survivors = expansions[: self.config.beam_width]
+            beams = [self._advance_history(beam) for beam in survivors]
+
+            if depth >= self.config.min_path_length:
+                for beam in beams:
+                    self._collect(beam, user_entity, exclude_items, found, keep_all_paths)
+        return found
+
+    def _initial_beam(self, user_entity: int) -> _Beam:
+        entity_state = self.entity_environment.initial_state(user_entity)
+        lstm_state = self.policy.initial_state_numpy()
+        hidden, lstm_state = self.policy.encode_entity_step_numpy(
+            self.representations.relation_vector(Relation.SELF_LOOP),
+            self.representations.entity_vector(user_entity), None, lstm_state)
+        return _Beam(entity_state=entity_state, entity_hidden=hidden, entity_lstm=lstm_state,
+                     last_relation=Relation.SELF_LOOP, log_prob=0.0)
+
+    def _expand(self, beam: _Beam, guided_category: Optional[int]) -> List[_Beam]:
+        """Generate the highest-probability child beams of ``beam``."""
+        actions = self.entity_environment.actions(beam.entity_state,
+                                                  target_category=guided_category)
+        if not actions:
+            return []
+        # Cache per (entity, milestone, user): the same entities are revisited by
+        # many beams and depths during one user's search.
+        cache_key = (beam.entity_state.current_entity, guided_category,
+                     beam.entity_state.user_entity)
+        action_matrix = self.entity_environment.action_matrix(actions, cache_key=cache_key)
+        logits = self.policy.entity_action_logits_numpy(
+            self.representations.entity_vector(beam.entity_state.current_entity),
+            self.representations.relation_vector(beam.last_relation),
+            beam.entity_hidden, action_matrix)
+        categories = action_target_categories(self.graph, actions)
+        logits = logits + self.guidance.guidance_bonus(categories, guided_category)
+        log_probs = _log_softmax(logits)
+
+        order = np.argsort(-log_probs)[: self.config.expansions_per_beam]
+        children: List[_Beam] = []
+        for index in order:
+            relation, target = actions[index]
+            children.append(replace(
+                beam,
+                entity_state=self.entity_environment.step(beam.entity_state, actions[index]),
+                last_relation=relation,
+                log_prob=beam.log_prob + float(log_probs[index]),
+                hops=beam.hops + ((relation, target),),
+            ))
+        return children
+
+    def _advance_history(self, beam: _Beam) -> _Beam:
+        """Update the entity history encoder for a surviving beam."""
+        relation, target = beam.hops[-1]
+        hidden, lstm_state = self.policy.encode_entity_step_numpy(
+            self.representations.relation_vector(relation),
+            self.representations.entity_vector(target),
+            None, beam.entity_lstm)
+        return replace(beam, entity_hidden=hidden, entity_lstm=lstm_state)
+
+    def _collect(self, beam: _Beam, user_entity: int, exclude_items: Set[int],
+                 found: Dict[int, RecommendationPath], keep_all_paths: bool) -> None:
+        """Record the beam's endpoint if it is a recommendable item."""
+        entity = beam.entity_state.current_entity
+        if not self.entity_environment.is_item(entity):
+            return
+        if entity in exclude_items:
+            return
+        path = RecommendationPath(user_entity=user_entity, item_entity=entity,
+                                  hops=beam.hops, score=beam.log_prob)
+        key = entity if not keep_all_paths else len(found)
+        existing = found.get(key)
+        if existing is None or path.score > existing.score:
+            found[key] = path

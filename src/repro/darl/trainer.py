@@ -1,0 +1,302 @@
+"""Joint REINFORCE training of the dual agents (Section IV-C).
+
+One training episode walks both agents for ``L`` steps starting from a user:
+the category agent over ``Gc`` and the entity agent over the KG, with the
+entity agent's action space narrowed towards the category agent's current
+milestone.  Per-step partner rewards (KL guidance and cosine consistency) are
+combined with the binary terminal rewards (Eq. 20-21), and both policies are
+updated through the shared networks with REINFORCE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..cggnn.model import Representations
+from ..kg.category_graph import CategoryGraph
+from ..kg.graph import KnowledgeGraph
+from ..kg.relations import Relation
+from ..nn import Tensor
+from ..rl.environment import CategoryEnvironment, EntityEnvironment
+from ..rl.reinforce import MovingBaseline, ReinforceConfig, apply_update, policy_gradient_loss
+from ..rl.rewards import collaborative_rewards, consistency_reward
+from ..rl.trajectory import CategoryStep, EntityStep, EpisodeResult
+from .agents import CategoryAgent, EntityAgent
+from .collaborative import GuidanceModel
+from .shared_policy import PolicyConfig, SharedPolicyNetworks
+
+
+@dataclass
+class DARLConfig:
+    """Hyper-parameters of the dual-agent RL stage (paper Section V-A.3)."""
+
+    max_path_length: int = 6          # L
+    epochs: int = 20
+    learning_rate: float = 1e-3
+    gamma: float = 0.95
+    alpha_pe: float = 0.4             # weight of the consistency reward in R^c
+    alpha_pc: float = 0.5             # weight of the guidance reward in R^e
+    max_entity_actions: int = 50      # |A^e| bound
+    max_category_actions: int = 10    # |A^c| bound
+    guidance_strength: float = 2.0    # logit bonus of the category intervention
+    hidden_size: int = 64
+    mlp_hidden: int = 128
+    episodes_per_user: int = 1
+    gradient_clip: float = 5.0
+    entropy_weight: float = 0.01      # entropy regularisation against policy collapse
+    # Ablation switches (Table IV / Fig. 4)
+    use_dual_agent: bool = True       # False => "CADRL w/o DARL" (single agent)
+    use_collaborative_rewards: bool = True  # False => RCRM
+    share_history: bool = True        # False => RSHI
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.max_path_length < 1:
+            raise ValueError("max_path_length must be at least 1")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not (0.0 <= self.alpha_pe <= 1.0 and 0.0 <= self.alpha_pc <= 1.0):
+            raise ValueError("reward discount factors must lie in [0, 1]")
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training diagnostics."""
+
+    epoch: int
+    mean_entity_reward: float
+    mean_category_reward: float
+    hit_rate: float
+    policy_loss: float
+
+
+class DARLTrainer:
+    """Trains the dual-agent policies for one dataset."""
+
+    def __init__(self, graph: KnowledgeGraph, category_graph: CategoryGraph,
+                 representations: Representations,
+                 config: Optional[DARLConfig] = None) -> None:
+        self.config = config or DARLConfig()
+        self.config.validate()
+        self.graph = graph
+        self.category_graph = category_graph
+        self.representations = representations
+        self.rng = np.random.default_rng(self.config.seed)
+
+        self.entity_environment = EntityEnvironment(
+            graph, representations, max_actions=self.config.max_entity_actions,
+            rng=np.random.default_rng(self.config.seed + 1))
+        self.category_environment = CategoryEnvironment(
+            category_graph, graph, representations,
+            max_actions=self.config.max_category_actions)
+
+        policy_config = PolicyConfig(
+            embedding_dim=representations.dim,
+            hidden_size=self.config.hidden_size,
+            mlp_hidden=self.config.mlp_hidden,
+            share_history=self.config.share_history,
+            seed=self.config.seed,
+        )
+        self.policy = SharedPolicyNetworks(policy_config)
+        self.guidance = GuidanceModel(strength=self.config.guidance_strength)
+        self.category_agent = CategoryAgent(self.category_environment, self.policy)
+        self.entity_agent = EntityAgent(self.entity_environment, self.policy, self.guidance)
+
+        self.optimiser = nn.Adam(self.policy.parameters(), lr=self.config.learning_rate)
+        self.reinforce_config = ReinforceConfig(gamma=self.config.gamma,
+                                                gradient_clip=self.config.gradient_clip,
+                                                entropy_weight=self.config.entropy_weight)
+        self._entity_baseline = MovingBaseline()
+        self._category_baseline = MovingBaseline()
+        self.history: List[EpochStats] = []
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train(self, user_positive_items: Dict[int, List[int]]) -> List[EpochStats]:
+        """Run REINFORCE training over all users for ``config.epochs`` epochs.
+
+        ``user_positive_items`` maps user *entity ids* to the entity ids of
+        their training items (the reward targets V_u).
+        """
+        users = [user for user, items in user_positive_items.items() if items]
+        for epoch in range(self.config.epochs):
+            order = self.rng.permutation(len(users))
+            entity_rewards: List[float] = []
+            category_rewards: List[float] = []
+            hits = 0
+            episodes = 0
+            losses: List[float] = []
+            for index in order:
+                user = users[index]
+                positives = set(user_positive_items[user])
+                for _ in range(self.config.episodes_per_user):
+                    episode, loss = self._run_training_episode(user, positives)
+                    episodes += 1
+                    entity_rewards.append(episode.total_entity_reward())
+                    category_rewards.append(episode.total_category_reward())
+                    if episode.final_entity in positives:
+                        hits += 1
+                    losses.append(loss)
+            stats = EpochStats(
+                epoch=epoch,
+                mean_entity_reward=float(np.mean(entity_rewards)) if entity_rewards else 0.0,
+                mean_category_reward=float(np.mean(category_rewards)) if category_rewards else 0.0,
+                hit_rate=hits / max(episodes, 1),
+                policy_loss=float(np.mean(losses)) if losses else 0.0,
+            )
+            self.history.append(stats)
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    def _run_training_episode(self, user_entity: int, positives: Set[int]
+                              ) -> Tuple[EpisodeResult, float]:
+        """Roll out one dual-agent (or single-agent) episode and update the policy."""
+        target_categories = {
+            category for category in
+            (self.graph.category_of(item) for item in positives)
+            if category is not None
+        }
+
+        episode = EpisodeResult(user_id=user_entity, start_entity=user_entity)
+        entity_state = self.entity_environment.initial_state(user_entity)
+        entity_lstm = self.policy.initial_entity_state()
+        category_lstm = self.policy.initial_category_state()
+
+        user_vector = self.representations.entity_vector(user_entity)
+        entity_hidden, entity_lstm = self.policy.encode_entity_step(
+            self.representations.relation_vector(Relation.SELF_LOOP), user_vector,
+            None, entity_lstm)
+
+        use_dual = self.config.use_dual_agent
+        category_state = None
+        category_hidden = None
+        if use_dual:
+            start_category = self.category_environment.start_category_for(user_entity)
+            category_state = self.category_environment.initial_state(user_entity, start_category)
+            category_hidden, category_lstm = self.policy.encode_category_step(
+                self.representations.category_vector(start_category), None, category_lstm)
+
+        entity_log_probs: List[Tensor] = []
+        category_log_probs: List[Tensor] = []
+        entity_entropies: List[Tensor] = []
+        category_entropies: List[Tensor] = []
+        guidance_rewards: List[float] = []
+        consistency_rewards: List[float] = []
+        last_relation = Relation.SELF_LOOP
+
+        for _ in range(self.config.max_path_length):
+            guided_category: Optional[int] = None
+            category_decision = None
+            if use_dual:
+                category_decision = self.category_agent.decide(
+                    category_state, entity_hidden, category_hidden, category_lstm, self.rng)
+                guided_category = category_decision.chosen_category
+
+            entity_decision = self.entity_agent.decide(
+                entity_state, last_relation, category_hidden, entity_hidden, entity_lstm,
+                self.rng, guided_category=guided_category)
+
+            # Per-step partner rewards (collaborative reward mechanism).
+            if use_dual and self.config.use_collaborative_rewards:
+                step_guidance = self.guidance.kl_guidance_reward(
+                    entity_decision.base_logits, entity_decision.target_categories,
+                    category_decision.chosen_category,
+                    category_decision.alternative_categories,
+                    category_decision.alternative_probabilities)
+            else:
+                step_guidance = 0.0
+
+            next_entity_state = self.entity_environment.step(entity_state,
+                                                             entity_decision.chosen_action)
+            if use_dual:
+                next_category_state = self.category_environment.step(
+                    category_state, category_decision.chosen_category)
+                if self.config.use_collaborative_rewards:
+                    step_consistency = consistency_reward(
+                        self.category_environment.state_vector(next_category_state),
+                        self.entity_environment.state_vector(next_entity_state))
+                else:
+                    step_consistency = 0.0
+            else:
+                next_category_state = None
+                step_consistency = 0.0
+
+            guidance_rewards.append(step_guidance)
+            consistency_rewards.append(step_consistency)
+            entity_log_probs.append(entity_decision.log_prob)
+            entity_entropies.append(entity_decision.entropy)
+            if use_dual:
+                category_log_probs.append(category_decision.log_prob)
+                category_entropies.append(category_decision.entropy)
+
+            episode.entity_steps.append(EntityStep(
+                entity_id=entity_decision.chosen_action[1],
+                relation=entity_decision.chosen_action[0],
+                log_prob=entity_decision.log_prob))
+            if use_dual:
+                episode.category_steps.append(CategoryStep(
+                    category_id=category_decision.chosen_category,
+                    log_prob=category_decision.log_prob))
+
+            # Advance states and history encoders.
+            entity_state = next_entity_state
+            last_relation = entity_decision.chosen_action[0]
+            entity_hidden = entity_decision.new_hidden
+            entity_lstm = entity_decision.new_lstm_state
+            if use_dual:
+                category_state = next_category_state
+                category_hidden = category_decision.new_hidden
+                category_lstm = category_decision.new_lstm_state
+
+        terminal_entity = self.entity_environment.terminal_reward(entity_state, positives)
+        terminal_category = (
+            self.category_environment.terminal_reward(category_state, target_categories)
+            if use_dual else 0.0)
+
+        rewards = collaborative_rewards(
+            terminal_category=terminal_category,
+            terminal_entity=terminal_entity,
+            guidance=guidance_rewards,
+            consistency=consistency_rewards,
+            alpha_pe=self.config.alpha_pe if self.config.use_collaborative_rewards else 0.0,
+            alpha_pc=self.config.alpha_pc if self.config.use_collaborative_rewards else 0.0,
+        )
+        for step, reward in zip(episode.entity_steps, rewards["entity"]):
+            step.reward = reward
+        for step, reward in zip(episode.category_steps, rewards["category"]):
+            step.reward = reward
+
+        category_reward_stream = rewards["category"] if category_log_probs else []
+        loss_value = self._update_policy(entity_log_probs, rewards["entity"],
+                                         category_log_probs, category_reward_stream,
+                                         entity_entropies, category_entropies)
+        return episode, loss_value
+
+    def _update_policy(self, entity_log_probs: List[Tensor], entity_rewards: List[float],
+                       category_log_probs: List[Tensor], category_rewards: List[float],
+                       entity_entropies: Optional[List[Tensor]] = None,
+                       category_entropies: Optional[List[Tensor]] = None) -> float:
+        """One REINFORCE update over both agents' losses."""
+        entity_loss = policy_gradient_loss(entity_log_probs, entity_rewards,
+                                           self.reinforce_config, self._entity_baseline,
+                                           entropies=entity_entropies)
+        category_loss = policy_gradient_loss(category_log_probs, category_rewards,
+                                             self.reinforce_config, self._category_baseline,
+                                             entropies=category_entropies)
+        if entity_loss is None and category_loss is None:
+            return 0.0
+        if entity_loss is None:
+            total = category_loss
+        elif category_loss is None:
+            total = entity_loss
+        else:
+            total = entity_loss + category_loss
+        return apply_update(total, self.policy.parameters(), self.optimiser,
+                            self.reinforce_config)

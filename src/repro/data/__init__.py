@@ -1,0 +1,34 @@
+"""Dataset substrate: schema, synthetic generator, presets, splits and I/O."""
+
+from .datasets import (
+    DATASET_NAMES,
+    available_datasets,
+    dataset_statistics,
+    load_dataset,
+    preset_config,
+)
+from .io import load_dataset_from_directory, save_dataset
+from .schema import Interaction, InteractionDataset, ItemRelation, Product, TrainTestSplit
+from .splits import split_interactions, test_user_items, train_user_items
+from .synthetic import SyntheticConfig, SyntheticDataset, generate
+
+__all__ = [
+    "DATASET_NAMES",
+    "Interaction",
+    "InteractionDataset",
+    "ItemRelation",
+    "Product",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "TrainTestSplit",
+    "available_datasets",
+    "dataset_statistics",
+    "generate",
+    "load_dataset",
+    "load_dataset_from_directory",
+    "preset_config",
+    "save_dataset",
+    "split_interactions",
+    "test_user_items",
+    "train_user_items",
+]

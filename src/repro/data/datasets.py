@@ -1,0 +1,122 @@
+"""Dataset presets mirroring the three Amazon benchmarks at reduced scale.
+
+Table II of the paper reports the statistics of Beauty, Cell Phones and
+Clothing.  The presets below keep the *relative* characteristics that drive
+the experimental conclusions while staying small enough to train on a laptop:
+
+* Clothing has by far the most categories per item (≈19 items/category in the
+  paper vs. ≈49–51 for the other two), which is why CADRL's improvement is
+  smallest there — the ``clothing`` preset keeps that sparsity.
+* Cell Phones has the fewest triplets per entity; Beauty the most interactions
+  per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from .schema import InteractionDataset
+from .synthetic import SyntheticConfig, SyntheticDataset, generate
+
+_PRESETS: Dict[str, SyntheticConfig] = {
+    "beauty": SyntheticConfig(
+        name="beauty",
+        num_users=120,
+        num_items=240,
+        num_brands=30,
+        num_features=60,
+        num_categories=8,
+        num_clusters=4,
+        interactions_per_user=(7, 14),
+        item_relation_degree=(3, 7),
+        cross_category_ratio=0.45,
+        seed=11,
+    ),
+    "cellphones": SyntheticConfig(
+        name="cellphones",
+        num_users=110,
+        num_items=200,
+        num_brands=24,
+        num_features=50,
+        num_categories=6,
+        num_clusters=3,
+        interactions_per_user=(6, 12),
+        item_relation_degree=(2, 6),
+        cross_category_ratio=0.40,
+        seed=23,
+    ),
+    "clothing": SyntheticConfig(
+        name="clothing",
+        num_users=140,
+        num_items=280,
+        num_brands=36,
+        num_features=70,
+        num_categories=28,
+        num_clusters=7,
+        interactions_per_user=(6, 12),
+        item_relation_degree=(2, 6),
+        cross_category_ratio=0.50,
+        seed=37,
+    ),
+}
+
+DATASET_NAMES: List[str] = list(_PRESETS)
+
+
+def available_datasets() -> List[str]:
+    """Names of the built-in dataset presets."""
+    return list(_PRESETS)
+
+
+def preset_config(name: str) -> SyntheticConfig:
+    """Return a copy of the preset configuration for ``name``."""
+    if name not in _PRESETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_PRESETS)}")
+    return replace(_PRESETS[name])
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> SyntheticDataset:
+    """Generate a preset dataset, optionally rescaled.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets`.
+    scale:
+        Multiplier applied to the user/item/interaction counts.  ``scale=0.5``
+        yields a dataset half the preset size — handy for fast tests; larger
+        values stress the efficiency experiments.
+    seed:
+        Override the preset's RNG seed.
+    """
+    config = preset_config(name)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if scale != 1.0:
+        config = replace(
+            config,
+            num_users=max(10, int(config.num_users * scale)),
+            num_items=max(20, int(config.num_items * scale)),
+            num_brands=max(5, int(config.num_brands * scale)),
+            num_features=max(10, int(config.num_features * scale)),
+            num_categories=max(3, int(config.num_categories * min(scale, 1.0) + 0.5)),
+        )
+        if config.num_clusters > config.num_categories:
+            config = replace(config, num_clusters=config.num_categories)
+    if seed is not None:
+        config = replace(config, seed=seed)
+    return generate(config)
+
+
+def dataset_statistics(dataset: InteractionDataset) -> Dict[str, float]:
+    """Statistics corresponding to the rows of Table II."""
+    return {
+        "users": dataset.num_users,
+        "items": dataset.num_items,
+        "interactions": dataset.num_interactions,
+        "brands": dataset.num_brands,
+        "features": dataset.num_features,
+        "categories": dataset.num_categories,
+        "items_per_category": dataset.num_items / max(1, dataset.num_categories),
+    }

@@ -1,0 +1,107 @@
+"""TSV persistence for interaction datasets.
+
+Real deployments would load the Amazon review dumps; this module writes and
+reads the same logical content (products, interactions, item relations) as
+plain tab-separated files so experiments can be checkpointed and shared.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .schema import Interaction, InteractionDataset, ItemRelation, Product
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: InteractionDataset, directory: PathLike) -> None:
+    """Write a dataset to ``directory`` as TSV files plus a meta.json."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "brand_names": dataset.brand_names,
+        "feature_names": dataset.feature_names,
+        "category_names": dataset.category_names,
+    }
+    (path / "meta.json").write_text(json.dumps(meta, indent=2))
+
+    with open(path / "products.tsv", "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter="\t")
+        writer.writerow(["item_id", "name", "brand_id", "category_id", "feature_ids"])
+        for product in dataset.products:
+            writer.writerow([product.item_id, product.name, product.brand_id,
+                             product.category_id,
+                             ",".join(str(f) for f in product.feature_ids)])
+
+    with open(path / "interactions.tsv", "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter="\t")
+        writer.writerow(["user_id", "item_id", "mentioned_feature_ids"])
+        for interaction in dataset.interactions:
+            writer.writerow([interaction.user_id, interaction.item_id,
+                             ",".join(str(f) for f in interaction.mentioned_feature_ids)])
+
+    with open(path / "item_relations.tsv", "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter="\t")
+        writer.writerow(["source_item_id", "target_item_id", "relation"])
+        for relation in dataset.item_relations:
+            writer.writerow([relation.source_item_id, relation.target_item_id,
+                             relation.relation])
+
+
+def load_dataset_from_directory(directory: PathLike) -> InteractionDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(directory)
+    meta = json.loads((path / "meta.json").read_text())
+
+    products: List[Product] = []
+    with open(path / "products.tsv", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter="\t")
+        for row in reader:
+            feature_ids = tuple(int(f) for f in row["feature_ids"].split(",") if f)
+            products.append(Product(
+                item_id=int(row["item_id"]),
+                name=row["name"],
+                brand_id=int(row["brand_id"]),
+                category_id=int(row["category_id"]),
+                feature_ids=feature_ids,
+            ))
+
+    interactions: List[Interaction] = []
+    with open(path / "interactions.tsv", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter="\t")
+        for row in reader:
+            mentioned = tuple(int(f) for f in row["mentioned_feature_ids"].split(",") if f)
+            interactions.append(Interaction(
+                user_id=int(row["user_id"]),
+                item_id=int(row["item_id"]),
+                mentioned_feature_ids=mentioned,
+            ))
+
+    item_relations: List[ItemRelation] = []
+    with open(path / "item_relations.tsv", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter="\t")
+        for row in reader:
+            item_relations.append(ItemRelation(
+                source_item_id=int(row["source_item_id"]),
+                target_item_id=int(row["target_item_id"]),
+                relation=row["relation"],
+            ))
+
+    dataset = InteractionDataset(
+        name=meta["name"],
+        num_users=int(meta["num_users"]),
+        products=products,
+        interactions=interactions,
+        item_relations=item_relations,
+        brand_names=list(meta["brand_names"]),
+        feature_names=list(meta["feature_names"]),
+        category_names=list(meta["category_names"]),
+    )
+    dataset.validate()
+    return dataset

@@ -1,0 +1,70 @@
+"""Train/test splitting of interaction logs.
+
+The paper randomly selects 70% of each user's purchases for training and holds
+out the remaining 30% for testing (Section V-A.1).  The split is per-user so
+every user keeps at least one training anchor; users with a single purchase
+contribute it to training only.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+import numpy as np
+
+from .schema import Interaction, InteractionDataset, TrainTestSplit
+
+
+def split_interactions(dataset: InteractionDataset, train_fraction: float = 0.7,
+                       seed: int = 0) -> TrainTestSplit:
+    """Split each user's interactions into train/test portions.
+
+    Parameters
+    ----------
+    dataset:
+        The full interaction log.
+    train_fraction:
+        Fraction of each user's purchases kept for training (default 0.7).
+    seed:
+        Seed of the shuffling RNG; the split is deterministic per seed.
+    """
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError("train_fraction must lie strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+
+    per_user: Dict[int, List[Interaction]] = defaultdict(list)
+    for interaction in dataset.interactions:
+        per_user[interaction.user_id].append(interaction)
+
+    train: List[Interaction] = []
+    test: List[Interaction] = []
+    for user_id in sorted(per_user):
+        interactions = list(per_user[user_id])
+        rng.shuffle(interactions)
+        if len(interactions) == 1:
+            train.extend(interactions)
+            continue
+        cut = max(1, int(round(train_fraction * len(interactions))))
+        cut = min(cut, len(interactions) - 1)  # always keep at least one test item
+        train.extend(interactions[:cut])
+        test.extend(interactions[cut:])
+    return TrainTestSplit(train=train, test=test)
+
+
+def train_user_items(split: TrainTestSplit) -> Dict[int, List[int]]:
+    """Map user → training items (deduplicated, order-preserving)."""
+    result: Dict[int, List[int]] = defaultdict(list)
+    for interaction in split.train:
+        if interaction.item_id not in result[interaction.user_id]:
+            result[interaction.user_id].append(interaction.item_id)
+    return dict(result)
+
+
+def test_user_items(split: TrainTestSplit) -> Dict[int, List[int]]:
+    """Map user → held-out test items (deduplicated, order-preserving)."""
+    result: Dict[int, List[int]] = defaultdict(list)
+    for interaction in split.test:
+        if interaction.item_id not in result[interaction.user_id]:
+            result[interaction.user_id].append(interaction.item_id)
+    return dict(result)

@@ -1,0 +1,5 @@
+"""KG embedding substrate (TransE pre-training)."""
+
+from .transe import TransEConfig, TransEModel, category_embeddings, train_transe
+
+__all__ = ["TransEConfig", "TransEModel", "category_embeddings", "train_transe"]

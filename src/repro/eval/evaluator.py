@@ -1,0 +1,88 @@
+"""Ranking evaluation protocol (top-10 over held-out purchases, Section V-A.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from ..data.schema import InteractionDataset, TrainTestSplit
+from ..data.splits import test_user_items
+from .metrics import aggregate_metrics, all_metrics, as_percentages
+
+
+class ItemRecommender(Protocol):
+    """Anything that can rank items for a dataset user.
+
+    Both CADRL and every baseline implement this protocol; the evaluator and
+    the experiment harness only ever talk to models through it.
+    """
+
+    name: str
+
+    def recommend_items(self, user_id: int, top_k: int = 10) -> List[int]:
+        """Return the ranked top-k *dataset* item ids for ``user_id``."""
+        ...
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated metrics (percentages) plus the per-user breakdown."""
+
+    model_name: str
+    metrics: Dict[str, float]
+    per_user: Dict[int, Dict[str, float]]
+    num_users: int
+
+    def __getitem__(self, metric: str) -> float:
+        return self.metrics[metric]
+
+    def summary_row(self) -> str:
+        """One formatted row, in the column order of Table I."""
+        return (f"{self.model_name:<22s} "
+                f"NDCG={self.metrics['ndcg']:6.3f}  "
+                f"Recall={self.metrics['recall']:6.3f}  "
+                f"HR={self.metrics['hit_ratio']:6.3f}  "
+                f"Prec.={self.metrics['precision']:6.3f}")
+
+
+def evaluate_recommender(model: ItemRecommender, split: TrainTestSplit, top_k: int = 10,
+                         users: Optional[Sequence[int]] = None,
+                         ) -> EvaluationResult:
+    """Evaluate ``model`` on the held-out 30% purchases.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`ItemRecommender`.
+    split:
+        The train/test split whose test portion defines the relevant items.
+    top_k:
+        Ranking cutoff (the paper uses 10).
+    users:
+        Optional subset of user ids to evaluate (used by the efficiency and
+        fast-test paths); defaults to every user with at least one test item.
+    """
+    held_out = test_user_items(split)
+    if users is not None:
+        held_out = {user: items for user, items in held_out.items() if user in users}
+
+    per_user: Dict[int, Dict[str, float]] = {}
+    for user_id, relevant in held_out.items():
+        if not relevant:
+            continue
+        recommended = model.recommend_items(user_id, top_k)
+        per_user[user_id] = all_metrics(recommended, relevant, top_k)
+
+    aggregated = as_percentages(aggregate_metrics(list(per_user.values())))
+    return EvaluationResult(
+        model_name=getattr(model, "name", type(model).__name__),
+        metrics=aggregated,
+        per_user=per_user,
+        num_users=len(per_user),
+    )
+
+
+def compare_models(models: Sequence[ItemRecommender], split: TrainTestSplit, top_k: int = 10,
+                   users: Optional[Sequence[int]] = None) -> List[EvaluationResult]:
+    """Evaluate several models under the identical protocol (one Table I column)."""
+    return [evaluate_recommender(model, split, top_k=top_k, users=users) for model in models]

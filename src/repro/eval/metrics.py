@@ -1,0 +1,119 @@
+"""Top-k ranking metrics: NDCG, Recall, Hit Ratio and Precision.
+
+These are the four metrics of Table I.  All functions take the *ranked* list
+of recommended item ids and the set of relevant (held-out) items and return a
+value in [0, 1]; the evaluator reports them as percentages to match the
+paper's presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+
+def _as_set(relevant: Iterable[int]) -> Set[int]:
+    return set(relevant)
+
+
+def _unique_top_k(recommended: Sequence[int], k: int) -> List[int]:
+    """First ``k`` distinct recommendations, preserving rank order.
+
+    Recommendation lists are expected to be duplicate-free, but the metrics
+    stay well-defined (bounded by 1) even if a model repeats an item.
+    """
+    seen: Set[int] = set()
+    top: List[int] = []
+    for item in recommended:
+        if item in seen:
+            continue
+        seen.add(item)
+        top.append(item)
+        if len(top) == k:
+            break
+    return top
+
+
+def precision_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int = 10) -> float:
+    """Fraction of the top-k recommendations that are relevant."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    top = _unique_top_k(recommended, k)
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant_set)
+    return hits / k
+
+
+def recall_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int = 10) -> float:
+    """Fraction of the relevant items that appear in the top-k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    top = _unique_top_k(recommended, k)
+    hits = sum(1 for item in top if item in relevant_set)
+    return hits / len(relevant_set)
+
+
+def hit_ratio_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int = 10) -> float:
+    """1 if any relevant item appears in the top-k, else 0."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    top = _unique_top_k(recommended, k)
+    return 1.0 if any(item in relevant_set for item in top) else 0.0
+
+
+def ndcg_at_k(recommended: Sequence[int], relevant: Iterable[int], k: int = 10) -> float:
+    """Normalised discounted cumulative gain with binary relevance."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    top = _unique_top_k(recommended, k)
+    dcg = 0.0
+    for position, item in enumerate(top):
+        if item in relevant_set:
+            dcg += 1.0 / np.log2(position + 2)
+    ideal_hits = min(len(relevant_set), k)
+    idcg = sum(1.0 / np.log2(position + 2) for position in range(ideal_hits))
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+METRIC_FUNCTIONS = {
+    "ndcg": ndcg_at_k,
+    "recall": recall_at_k,
+    "hit_ratio": hit_ratio_at_k,
+    "precision": precision_at_k,
+}
+
+
+def all_metrics(recommended: Sequence[int], relevant: Iterable[int], k: int = 10
+                ) -> Dict[str, float]:
+    """Compute all four metrics for one user."""
+    relevant_set = _as_set(relevant)
+    return {name: fn(recommended, relevant_set, k) for name, fn in METRIC_FUNCTIONS.items()}
+
+
+def aggregate_metrics(per_user: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Average per-user metric dictionaries (ignoring empty input gracefully)."""
+    if not per_user:
+        return {name: 0.0 for name in METRIC_FUNCTIONS}
+    aggregated: Dict[str, float] = {}
+    for name in METRIC_FUNCTIONS:
+        aggregated[name] = float(np.mean([user[name] for user in per_user]))
+    return aggregated
+
+
+def as_percentages(metrics: Dict[str, float]) -> Dict[str, float]:
+    """Scale metric values to percentages, matching Table I's presentation."""
+    return {name: 100.0 * value for name, value in metrics.items()}

@@ -1,0 +1,48 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(profile=...)`` returning a structured result object,
+``report(result)`` returning the printable table, and a ``main()`` CLI so it
+can be invoked as ``python -m repro.experiments.<name>``.
+"""
+
+from . import (
+    fig3_cggnn_modules,
+    fig4_darl_modules,
+    fig5_path_length,
+    fig6_hyperparams,
+    fig7_case_study,
+    table1_accuracy,
+    table2_datasets,
+    table3_efficiency,
+    table4_ablation,
+)
+from .common import ExperimentSetting, cadrl_config, format_table, prepare_dataset
+
+EXPERIMENTS = {
+    "table1": table1_accuracy,
+    "table2": table2_datasets,
+    "table3": table3_efficiency,
+    "table4": table4_ablation,
+    "fig3": fig3_cggnn_modules,
+    "fig4": fig4_darl_modules,
+    "fig5": fig5_path_length,
+    "fig6": fig6_hyperparams,
+    "fig7": fig7_case_study,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSetting",
+    "cadrl_config",
+    "fig3_cggnn_modules",
+    "fig4_darl_modules",
+    "fig5_path_length",
+    "fig6_hyperparams",
+    "fig7_case_study",
+    "format_table",
+    "prepare_dataset",
+    "table1_accuracy",
+    "table2_datasets",
+    "table3_efficiency",
+    "table4_ablation",
+]

@@ -1,0 +1,96 @@
+"""Shared plumbing for the experiment harness.
+
+Every experiment module builds on the same three ingredients: a dataset +
+split, a "fast" CADRL configuration sized for the synthetic presets, and a
+uniform way to print result tables.  The ``profile`` argument scales the
+experiments: ``"smoke"`` is sized for CI/benchmarks (seconds), ``"paper"``
+uses the full presets (minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..darl import CADRLConfig
+from ..data import load_dataset, split_interactions
+from ..data.schema import TrainTestSplit
+from ..data.synthetic import SyntheticDataset
+
+PROFILES = ("smoke", "paper")
+
+
+@dataclass
+class ExperimentSetting:
+    """Scale knobs derived from the chosen profile."""
+
+    dataset_scale: float
+    darl_epochs: int
+    baseline_rl_epochs: int
+    max_eval_users: Optional[int]
+
+    @classmethod
+    def from_profile(cls, profile: str) -> "ExperimentSetting":
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}; choose one of {PROFILES}")
+        if profile == "smoke":
+            return cls(dataset_scale=0.4, darl_epochs=3, baseline_rl_epochs=2,
+                       max_eval_users=30)
+        return cls(dataset_scale=1.0, darl_epochs=10, baseline_rl_epochs=6,
+                   max_eval_users=None)
+
+
+def prepare_dataset(name: str, setting: ExperimentSetting, seed: int = 0
+                    ) -> Tuple[SyntheticDataset, TrainTestSplit]:
+    """Generate a preset dataset at the profile's scale and split it 70/30."""
+    dataset = load_dataset(name, scale=setting.dataset_scale)
+    split = split_interactions(dataset, seed=seed)
+    return dataset, split
+
+
+def cadrl_config(setting: ExperimentSetting, seed: int = 0, **overrides) -> CADRLConfig:
+    """The CADRL configuration used across experiments (fast preset + profile scale)."""
+    config = CADRLConfig.fast(embedding_dim=32, seed=seed)
+    config.darl.epochs = setting.darl_epochs
+    for key, value in overrides.items():
+        parts = key.split("__")
+        target = config
+        for part in parts[:-1]:
+            target = getattr(target, part)
+        setattr(target, parts[-1], value)
+    return config
+
+
+def eval_users(split: TrainTestSplit, setting: ExperimentSetting) -> Optional[List[int]]:
+    """Subset of users to evaluate (None = all), respecting the profile cap."""
+    if setting.max_eval_users is None:
+        return None
+    users = sorted({interaction.user_id for interaction in split.test})
+    return users[: setting.max_eval_users]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table (the harness prints, never plots)."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def metric_row(name: str, metrics: Dict[str, float]) -> List[str]:
+    """One table row in the Table I column order (values already in %)."""
+    return [name,
+            f"{metrics['ndcg']:.3f}",
+            f"{metrics['recall']:.3f}",
+            f"{metrics['hit_ratio']:.3f}",
+            f"{metrics['precision']:.3f}"]

@@ -1,0 +1,96 @@
+"""Figure 6 — sensitivity to the key hyper-parameters δ, α_pe and α_pc.
+
+Sweeps each factor over 0.1..0.9 (the other two held at their tuned values)
+and reports Precision@10, matching the panels of Fig. 6.  The paper's finding
+is a unimodal response: a moderate value of each factor is best, and the
+optimum δ is smaller on the category-sparse Clothing dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..darl import CADRL
+from ..eval import evaluate_recommender
+from .common import ExperimentSetting, cadrl_config, eval_users, format_table, prepare_dataset
+
+DEFAULT_VALUES = [0.1, 0.3, 0.5, 0.7, 0.9]
+PARAMETERS = ["delta", "alpha_pe", "alpha_pc"]
+
+
+@dataclass
+class Fig6Result:
+    """Precision (%) per dataset, hyper-parameter and value."""
+
+    values: List[float]
+    precision: Dict[str, Dict[str, Dict[float, float]]] = field(default_factory=dict)
+
+    def optimal_value(self, dataset: str, parameter: str) -> float:
+        curve = self.precision[dataset][parameter]
+        return max(curve, key=curve.get)
+
+
+def _apply(config, parameter: str, value: float) -> None:
+    if parameter == "delta":
+        config.cggnn.delta = value
+    elif parameter == "alpha_pe":
+        config.darl.alpha_pe = value
+    elif parameter == "alpha_pc":
+        config.darl.alpha_pc = value
+    else:
+        raise ValueError(f"unknown hyper-parameter {parameter!r}")
+
+
+def run(profile: str = "smoke", datasets: Optional[Sequence[str]] = None,
+        parameters: Optional[Sequence[str]] = None, values: Optional[Sequence[float]] = None,
+        seed: int = 0) -> Fig6Result:
+    setting = ExperimentSetting.from_profile(profile)
+    datasets = list(datasets or ["beauty"])
+    parameters = list(parameters or PARAMETERS)
+    values = list(values or DEFAULT_VALUES)
+    result = Fig6Result(values=values)
+
+    for dataset_name in datasets:
+        dataset, split = prepare_dataset(dataset_name, setting, seed=seed)
+        users = eval_users(split, setting)
+        result.precision[dataset_name] = {parameter: {} for parameter in parameters}
+        for parameter in parameters:
+            for value in values:
+                config = cadrl_config(setting, seed=seed)
+                _apply(config, parameter, value)
+                model = CADRL(config).fit(dataset, split)
+                evaluation = evaluate_recommender(model, split, users=users)
+                result.precision[dataset_name][parameter][value] = (
+                    evaluation.metrics["precision"])
+    return result
+
+
+def report(result: Fig6Result) -> str:
+    blocks: List[str] = []
+    for dataset_name, by_parameter in result.precision.items():
+        rows = []
+        for parameter, curve in by_parameter.items():
+            rows.append([parameter] + [f"{curve.get(value, float('nan')):.3f}"
+                                       for value in result.values])
+        blocks.append(format_table(["Hyper-parameter"] + [f"{v:.1f}" for v in result.values],
+                                   rows,
+                                   title=f"Fig. 6 — Precision vs. hyper-parameters on "
+                                         f"{dataset_name}"))
+        for parameter in by_parameter:
+            blocks.append(f"optimal {parameter} on {dataset_name}: "
+                          f"{result.optimal_value(dataset_name, parameter):.1f}")
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke", choices=("smoke", "paper"))
+    parser.add_argument("--values", nargs="*", type=float, default=None)
+    arguments = parser.parse_args()
+    print(report(run(profile=arguments.profile, values=arguments.values)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Run every experiment in sequence: ``python -m repro.experiments.runner``."""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from . import EXPERIMENTS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke", choices=("smoke", "paper"))
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment keys (e.g. table1 fig5)")
+    arguments = parser.parse_args()
+
+    selected = arguments.only or list(EXPERIMENTS)
+    for key in selected:
+        if key not in EXPERIMENTS:
+            raise SystemExit(f"unknown experiment {key!r}; choose from {sorted(EXPERIMENTS)}")
+        module = EXPERIMENTS[key]
+        print(f"\n===== {key} =====")
+        start = time.perf_counter()
+        if key == "table2":
+            result = module.run()
+        else:
+            result = module.run(profile=arguments.profile)
+        print(module.report(result))
+        print(f"[{key} finished in {time.perf_counter() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Table I — recommendation accuracy of CADRL vs. every baseline.
+
+Reproduces the paper's main comparison: NDCG / Recall / HR / Precision at 10
+for the three Amazon-style datasets.  The expected *shape* is that CADRL tops
+every column and that the RL/path families sit above the embedding and
+neural-network families.
+
+Run with ``python -m repro.experiments.table1_accuracy [--profile paper]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import TABLE1_BASELINES, SingleAgentConfig, build_baseline
+from ..baselines.rl_single import SingleAgentRLRecommender
+from ..darl import CADRL
+from ..data import DATASET_NAMES
+from ..eval import evaluate_recommender
+from .common import (
+    ExperimentSetting,
+    cadrl_config,
+    eval_users,
+    format_table,
+    metric_row,
+    prepare_dataset,
+)
+
+
+@dataclass
+class Table1Result:
+    """Metrics (in %) for every model on every dataset."""
+
+    datasets: List[str]
+    metrics: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    # metrics[dataset][model] = {"ndcg": ..., "recall": ..., ...}
+
+    def best_model(self, dataset: str, metric: str = "ndcg") -> str:
+        scores = self.metrics[dataset]
+        return max(scores, key=lambda model: scores[model][metric])
+
+    def improvement_over_best_baseline(self, dataset: str, metric: str = "ndcg") -> float:
+        """CADRL's relative improvement (%) over the strongest baseline."""
+        scores = self.metrics[dataset]
+        cadrl = scores["CADRL"][metric]
+        best_baseline = max(value[metric] for name, value in scores.items() if name != "CADRL")
+        if best_baseline == 0:
+            return 0.0
+        return 100.0 * (cadrl - best_baseline) / best_baseline
+
+
+def _build_baseline(name: str, setting: ExperimentSetting, seed: int):
+    """Instantiate a baseline with profile-appropriate training effort."""
+    rl_names = {"PGPR", "ADAC", "UCPR", "ReMR", "INFER", "CogER"}
+    if name in rl_names:
+        config = SingleAgentConfig(epochs=setting.baseline_rl_epochs, seed=seed)
+        return build_baseline(name, config=config, seed=seed)
+    return build_baseline(name, seed=seed)
+
+
+def run(profile: str = "smoke", datasets: Optional[Sequence[str]] = None,
+        baselines: Optional[Sequence[str]] = None, seed: int = 0,
+        include_cadrl: bool = True) -> Table1Result:
+    """Train and evaluate every model on every dataset; returns all metrics."""
+    setting = ExperimentSetting.from_profile(profile)
+    datasets = list(datasets or DATASET_NAMES)
+    baselines = list(baselines if baselines is not None else TABLE1_BASELINES)
+    result = Table1Result(datasets=datasets)
+
+    for dataset_name in datasets:
+        dataset, split = prepare_dataset(dataset_name, setting, seed=seed)
+        users = eval_users(split, setting)
+        result.metrics[dataset_name] = {}
+
+        for baseline_name in baselines:
+            model = _build_baseline(baseline_name, setting, seed).fit(dataset, split)
+            evaluation = evaluate_recommender(model, split, users=users)
+            result.metrics[dataset_name][baseline_name] = evaluation.metrics
+
+        if include_cadrl:
+            cadrl = CADRL(cadrl_config(setting, seed=seed)).fit(dataset, split)
+            evaluation = evaluate_recommender(cadrl, split, users=users)
+            result.metrics[dataset_name]["CADRL"] = evaluation.metrics
+    return result
+
+
+def report(result: Table1Result) -> str:
+    """Format the result in the layout of Table I."""
+    blocks: List[str] = []
+    for dataset_name in result.datasets:
+        rows = [metric_row(model, metrics)
+                for model, metrics in result.metrics[dataset_name].items()]
+        blocks.append(format_table(
+            ["Model", "NDCG", "Recall", "HR", "Prec."], rows,
+            title=f"Table I — {dataset_name} (all values %)"))
+        if "CADRL" in result.metrics[dataset_name]:
+            improvement = result.improvement_over_best_baseline(dataset_name)
+            blocks.append(f"CADRL NDCG improvement over best baseline: {improvement:+.2f}%")
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke", choices=("smoke", "paper"))
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args()
+    print(report(run(profile=arguments.profile, datasets=arguments.datasets,
+                     seed=arguments.seed)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Table III — computational cost of recommendation and path finding.
+
+Measures, for the path/RL methods of the paper's efficiency study (PGPR,
+HeteroEmbed, UCPR, CAFE) and CADRL, (a) the wall-clock time to recommend for a
+batch of users and (b) the time to enumerate recommendation paths, both
+extrapolated to the paper's units (1k users / 10k paths).  The expected shape
+is PGPR slowest, CAFE the fastest baseline, CADRL fastest overall.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import TABLE3_BASELINES, SingleAgentConfig, build_baseline
+from ..darl import CADRL
+from ..data import DATASET_NAMES
+from ..eval import TimingResult, measure_efficiency
+from .common import ExperimentSetting, cadrl_config, format_table, prepare_dataset
+
+
+@dataclass
+class Table3Result:
+    """Timing results per dataset and model."""
+
+    timings: Dict[str, Dict[str, TimingResult]] = field(default_factory=dict)
+
+    def fastest_model(self, dataset: str) -> str:
+        rows = self.timings[dataset]
+        return min(rows, key=lambda name: rows[name].recommendation_per_1k_users())
+
+
+def run(profile: str = "smoke", datasets: Optional[Sequence[str]] = None,
+        num_users: int = 20, paths_per_user: int = 20, seed: int = 0) -> Table3Result:
+    """Train the Table III models and measure both workloads."""
+    setting = ExperimentSetting.from_profile(profile)
+    datasets = list(datasets or DATASET_NAMES)
+    result = Table3Result()
+
+    for dataset_name in datasets:
+        dataset, split = prepare_dataset(dataset_name, setting, seed=seed)
+        users = list(range(min(num_users, dataset.num_users)))
+        result.timings[dataset_name] = {}
+
+        for baseline_name in TABLE3_BASELINES:
+            if baseline_name in {"PGPR", "UCPR"}:
+                model = build_baseline(baseline_name,
+                                       config=SingleAgentConfig(
+                                           epochs=setting.baseline_rl_epochs, seed=seed),
+                                       seed=seed)
+            else:
+                model = build_baseline(baseline_name, seed=seed)
+            model.fit(dataset, split)
+            result.timings[dataset_name][baseline_name] = measure_efficiency(
+                model, users, paths_per_user=paths_per_user)
+
+        cadrl = CADRL(cadrl_config(setting, seed=seed)).fit(dataset, split)
+        result.timings[dataset_name]["CADRL"] = measure_efficiency(
+            cadrl, users, paths_per_user=paths_per_user)
+    return result
+
+
+def report(result: Table3Result) -> str:
+    blocks: List[str] = []
+    for dataset_name, timings in result.timings.items():
+        rows = [[name,
+                 f"{timing.recommendation_per_1k_users():.2f}",
+                 f"{timing.pathfinding_per_10k_paths():.2f}",
+                 f"{timing.recommendation_seconds:.3f}",
+                 timing.paths_found]
+                for name, timing in timings.items()]
+        blocks.append(format_table(
+            ["Model", "Rec. s/1k users", "Find s/10k paths", "measured s", "paths"],
+            rows, title=f"Table III — efficiency on {dataset_name}"))
+        blocks.append(f"Fastest recommender: {result.fastest_model(dataset_name)}")
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke", choices=("smoke", "paper"))
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--num-users", type=int, default=20)
+    arguments = parser.parse_args()
+    print(report(run(profile=arguments.profile, datasets=arguments.datasets,
+                     num_users=arguments.num_users)))
+
+
+if __name__ == "__main__":
+    main()

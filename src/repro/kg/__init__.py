@@ -1,0 +1,38 @@
+"""Knowledge-graph substrate: entities, relations, the KG, ``Gc`` and pruning."""
+
+from .builder import KGBuilder, build_knowledge_graph
+from .category_graph import CategoryGraph
+from .entities import Entity, EntityStore, EntityType
+from .graph import KnowledgeGraph, Triplet
+from .pruning import category_guided_prune, degree_prune, ensure_self_loop, score_prune
+from .relations import (
+    FORWARD_RELATIONS,
+    Relation,
+    all_relations,
+    inverse_of,
+    is_inverse,
+    relation_index,
+    schema_is_valid,
+)
+
+__all__ = [
+    "CategoryGraph",
+    "Entity",
+    "EntityStore",
+    "EntityType",
+    "FORWARD_RELATIONS",
+    "KGBuilder",
+    "KnowledgeGraph",
+    "Relation",
+    "Triplet",
+    "all_relations",
+    "build_knowledge_graph",
+    "category_guided_prune",
+    "degree_prune",
+    "ensure_self_loop",
+    "inverse_of",
+    "is_inverse",
+    "relation_index",
+    "schema_is_valid",
+    "score_prune",
+]

@@ -1,0 +1,213 @@
+"""The knowledge-graph substrate: triplet store + adjacency with O(1) lookups.
+
+``KnowledgeGraph`` is the environment every recommender in this repository
+walks over.  It stores typed triplets ``(head, relation, tail)`` together with
+the automatically added inverse triplets (Section III of the paper), offers
+neighbour queries used by both the CGGNN and the RL agents, and records the
+item → category assignment from which the category knowledge graph ``Gc`` is
+derived.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .entities import Entity, EntityStore, EntityType
+from .relations import Relation, inverse_of, schema_is_valid
+
+
+@dataclass(frozen=True)
+class Triplet:
+    """A directed, typed edge ``head --relation--> tail``."""
+
+    head: int
+    relation: Relation
+    tail: int
+
+
+class KnowledgeGraph:
+    """Multi-relational graph over the entities of :class:`EntityStore`.
+
+    Parameters
+    ----------
+    entities:
+        The entity registry.  The graph does not own it, merely references it.
+    validate_schema:
+        If ``True`` (default), :meth:`add_triplet` rejects edges that violate
+        the Amazon relation schema (e.g. a ``purchase`` edge between two items).
+    """
+
+    def __init__(self, entities: EntityStore, validate_schema: bool = True) -> None:
+        self.entities = entities
+        self.validate_schema = validate_schema
+        self._triplets: List[Triplet] = []
+        self._edges: Set[Tuple[int, Relation, int]] = set()
+        self._outgoing: Dict[int, List[Tuple[Relation, int]]] = defaultdict(list)
+        self._incoming: Dict[int, List[Tuple[Relation, int]]] = defaultdict(list)
+        self._item_category: Dict[int, int] = {}
+        self._category_names: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_triplet(self, head: int, relation: Relation, tail: int,
+                    add_inverse: bool = True) -> bool:
+        """Add a triplet (and by default its inverse).
+
+        Returns ``True`` if the forward edge was new, ``False`` if it already
+        existed.  Raises ``ValueError`` if the edge violates the schema and
+        schema validation is enabled.
+        """
+        head_entity = self.entities.get(head)
+        tail_entity = self.entities.get(tail)
+        if self.validate_schema and not schema_is_valid(
+                head_entity.entity_type, relation, tail_entity.entity_type):
+            raise ValueError(
+                f"triplet violates schema: ({head_entity.entity_type.value}, "
+                f"{relation.value}, {tail_entity.entity_type.value})")
+        key = (head, relation, tail)
+        if key in self._edges:
+            return False
+        self._edges.add(key)
+        self._triplets.append(Triplet(head, relation, tail))
+        self._outgoing[head].append((relation, tail))
+        self._incoming[tail].append((relation, head))
+        if add_inverse:
+            self.add_triplet(tail, inverse_of(relation), head, add_inverse=False)
+        return True
+
+    def set_item_category(self, item_id: int, category_id: int) -> None:
+        """Assign an item to a category (top-level ontology, not an entity)."""
+        if not self.entities.is_item(item_id):
+            raise ValueError(f"entity {item_id} is not an item")
+        if category_id < 0:
+            raise ValueError("category id must be non-negative")
+        self._item_category[item_id] = category_id
+
+    def set_category_names(self, names: Sequence[str]) -> None:
+        """Record human-readable category labels (index = category id)."""
+        self._category_names = list(names)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    @property
+    def num_triplets(self) -> int:
+        """Number of stored directed edges (forward + inverse)."""
+        return len(self._triplets)
+
+    @property
+    def num_categories(self) -> int:
+        if self._category_names:
+            return len(self._category_names)
+        if not self._item_category:
+            return 0
+        return max(self._item_category.values()) + 1
+
+    def triplets(self) -> Iterator[Triplet]:
+        """Iterate over all stored directed edges."""
+        return iter(self._triplets)
+
+    def has_edge(self, head: int, relation: Relation, tail: int) -> bool:
+        """True if the directed edge exists."""
+        return (head, relation, tail) in self._edges
+
+    def category_of(self, item_id: int) -> Optional[int]:
+        """Category id of ``item_id``, or ``None`` if unassigned / not an item."""
+        return self._item_category.get(item_id)
+
+    def category_name(self, category_id: int) -> str:
+        """Human-readable label of a category."""
+        if self._category_names and 0 <= category_id < len(self._category_names):
+            return self._category_names[category_id]
+        return f"category_{category_id}"
+
+    def items_in_category(self, category_id: int) -> List[int]:
+        """All item entity ids assigned to ``category_id``."""
+        return [item for item, cat in self._item_category.items() if cat == category_id]
+
+    def item_category_map(self) -> Dict[int, int]:
+        """Copy of the item → category assignment."""
+        return dict(self._item_category)
+
+    # ------------------------------------------------------------------ #
+    # neighbourhood queries
+    # ------------------------------------------------------------------ #
+    def outgoing(self, entity_id: int) -> List[Tuple[Relation, int]]:
+        """Outgoing ``(relation, neighbour)`` pairs of an entity."""
+        return list(self._outgoing.get(entity_id, ()))
+
+    def incoming(self, entity_id: int) -> List[Tuple[Relation, int]]:
+        """Incoming ``(relation, neighbour)`` pairs of an entity."""
+        return list(self._incoming.get(entity_id, ()))
+
+    def neighbors(self, entity_id: int) -> List[Tuple[Relation, int]]:
+        """Alias for :meth:`outgoing` — inverse edges make the graph symmetric."""
+        return self.outgoing(entity_id)
+
+    def degree(self, entity_id: int) -> int:
+        """Out-degree of an entity (== in-degree thanks to inverse edges)."""
+        return len(self._outgoing.get(entity_id, ()))
+
+    def neighbors_of_type(self, entity_id: int, entity_type: EntityType
+                          ) -> List[Tuple[Relation, int]]:
+        """Outgoing neighbours restricted to a given entity type."""
+        return [(rel, tail) for rel, tail in self._outgoing.get(entity_id, ())
+                if self.entities.type_of(tail) == entity_type]
+
+    def neighbor_categories(self, item_id: int) -> List[int]:
+        """Categories of the item-neighbours of ``item_id`` (Definition 2, N^c_v).
+
+        The item's own category is included, matching the paper's use of the
+        category context as meta-data shared with neighbouring items.
+        """
+        categories: List[int] = []
+        seen: Set[int] = set()
+        own = self.category_of(item_id)
+        if own is not None:
+            seen.add(own)
+            categories.append(own)
+        for _, tail in self._outgoing.get(item_id, ()):
+            category = self.category_of(tail)
+            if category is not None and category not in seen:
+                seen.add(category)
+                categories.append(category)
+        return categories
+
+    def purchased_items(self, user_id: int) -> List[int]:
+        """Items the user purchased, read straight from the graph."""
+        return [tail for rel, tail in self._outgoing.get(user_id, ())
+                if rel == Relation.PURCHASE]
+
+    # ------------------------------------------------------------------ #
+    # statistics / reporting
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> Dict[str, int]:
+        """Summary counts matching the columns of Table II."""
+        interactions = sum(1 for triplet in self._triplets
+                           if triplet.relation == Relation.PURCHASE)
+        return {
+            "users": self.entities.count(EntityType.USER),
+            "items": self.entities.count(EntityType.ITEM),
+            "entities": self.num_entities,
+            "interactions": interactions,
+            "triplets": self.num_triplets,
+            "categories": self.num_categories,
+        }
+
+    def average_items_per_category(self) -> float:
+        """Items per category, the sparsity driver discussed for Clothing (RQ1)."""
+        if self.num_categories == 0:
+            return 0.0
+        return len(self._item_category) / self.num_categories
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.statistics()
+        return (f"KnowledgeGraph(users={stats['users']}, items={stats['items']}, "
+                f"entities={stats['entities']}, triplets={stats['triplets']})")

@@ -1,0 +1,36 @@
+"""Minimal neural-network substrate (NumPy autograd) used throughout the repo.
+
+This package stands in for PyTorch: it provides a reverse-mode autodiff
+:class:`~repro.nn.tensor.Tensor`, standard layers, recurrent cells, parameter
+initialisation and the SGD/Adam optimisers the paper relies on.
+"""
+
+from . import functional
+from .layers import MLP, Embedding, Linear, Sequential
+from .module import Module
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .recurrent import GRUCell, HistoryEncoder, LSTMCell, concat_history
+from .tensor import Tensor, concat, ones, stack, tensor, zeros
+
+__all__ = [
+    "Adam",
+    "Embedding",
+    "GRUCell",
+    "HistoryEncoder",
+    "LSTMCell",
+    "Linear",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "clip_grad_norm",
+    "concat",
+    "concat_history",
+    "functional",
+    "ones",
+    "stack",
+    "tensor",
+    "zeros",
+]

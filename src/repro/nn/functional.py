@@ -1,0 +1,111 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    return x.tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectified linear unit."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Elementwise leaky ReLU, used by the category-aware attention (Eq. 8)."""
+    return x.leaky_relu(negative_slope)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def dropout(x: Tensor, rate: float, rng: Optional[np.random.Generator] = None,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``rate`` is 0."""
+    if not training or rate <= 0.0:
+        return x
+    if rng is None:
+        rng = np.random.default_rng()
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def cross_entropy_with_logits(logits: Tensor, target_index: int) -> Tensor:
+    """Negative log-likelihood of ``target_index`` under ``softmax(logits)``.
+
+    ``logits`` is a 1-D tensor of unnormalised scores.
+    """
+    log_probs = log_softmax(logits, axis=-1)
+    return -log_probs[target_index]
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Tensor) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits."""
+    # log(1 + exp(-|x|)) + max(x, 0) - x * t
+    probs = logits.sigmoid().clip(1e-9, 1.0 - 1e-9)
+    loss = -(targets * probs.log() + (1.0 - targets) * (1.0 - probs).log())
+    return loss.mean()
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> float:
+    """Cosine similarity between two plain vectors (used by the Rpe reward, Eq. 19)."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom < eps:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, eps: float = 1e-12) -> float:
+    """KL(p || q) for two discrete distributions (used by the Rpc reward, Eq. 17)."""
+    p = np.clip(np.asarray(p, dtype=np.float64).ravel(), eps, None)
+    q = np.clip(np.asarray(q, dtype=np.float64).ravel(), eps, None)
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.sum(p * np.log(p / q)))
+
+
+def one_hot(index: int, size: int) -> np.ndarray:
+    """One-hot row vector of length ``size``."""
+    vec = np.zeros(size, dtype=np.float64)
+    vec[index] = 1.0
+    return vec
+
+
+def pad_to(vectors: Sequence[np.ndarray], length: int, dim: int) -> np.ndarray:
+    """Stack ``vectors`` into a ``(length, dim)`` matrix, zero-padding the tail."""
+    out = np.zeros((length, dim), dtype=np.float64)
+    for i, vec in enumerate(vectors[:length]):
+        out[i, : len(vec)] = vec
+    return out

@@ -1,0 +1,42 @@
+"""Reinforcement-learning substrate: environments, trajectories, REINFORCE, rewards."""
+
+from .environment import (
+    CategoryEnvironment,
+    CategoryState,
+    EntityEnvironment,
+    EntityState,
+)
+from .reinforce import MovingBaseline, ReinforceConfig, apply_update, policy_gradient_loss
+from .rewards import (
+    collaborative_rewards,
+    consistency_reward,
+    guidance_reward,
+    soft_item_reward,
+)
+from .trajectory import (
+    CategoryStep,
+    EntityStep,
+    EpisodeResult,
+    RecommendationPath,
+    discounted_returns,
+)
+
+__all__ = [
+    "CategoryEnvironment",
+    "CategoryState",
+    "CategoryStep",
+    "EntityEnvironment",
+    "EntityState",
+    "EntityStep",
+    "EpisodeResult",
+    "MovingBaseline",
+    "RecommendationPath",
+    "ReinforceConfig",
+    "apply_update",
+    "collaborative_rewards",
+    "consistency_reward",
+    "discounted_returns",
+    "guidance_reward",
+    "policy_gradient_loss",
+    "soft_item_reward",
+]

@@ -1,0 +1,202 @@
+"""Entity-level and category-level MDP environments over the knowledge graph.
+
+Both environments are thin, stateless views over the graph substrates: they
+enumerate valid actions (with pruning), expose representation lookups for
+states and actions, and answer reward queries.  Keeping them stateless makes
+beam-search inference and vectorised training rollouts straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..cggnn.model import Representations
+from ..kg.category_graph import CategoryGraph
+from ..kg.entities import EntityType
+from ..kg.graph import KnowledgeGraph
+from ..kg.pruning import Action, category_guided_prune, degree_prune, ensure_self_loop
+from ..kg.relations import Relation
+
+
+@dataclass
+class EntityState:
+    """State of the entity agent: ``s^e_l = (u, e_l)`` plus the step counter."""
+
+    user_entity: int
+    current_entity: int
+    step: int
+
+
+@dataclass
+class CategoryState:
+    """State of the category agent: ``s^c_l = (u, c_s, c_l)``."""
+
+    user_entity: int
+    start_category: int
+    current_category: int
+    step: int
+
+
+class EntityEnvironment:
+    """The entity agent's view of the KG (action space ``A^e``)."""
+
+    def __init__(self, graph: KnowledgeGraph, representations: Representations,
+                 max_actions: int = 50, rng: Optional[np.random.Generator] = None) -> None:
+        if max_actions <= 0:
+            raise ValueError("max_actions must be positive")
+        self.graph = graph
+        self.representations = representations
+        self.max_actions = max_actions
+        self.rng = rng or np.random.default_rng(0)
+        # Pruned-action and action-matrix caches.  Both are keyed by the
+        # (entity, guided category) pair; the KG and the representations are
+        # frozen during an RL stage, so the cached values never go stale.
+        self._action_cache: Dict[Tuple[int, Optional[int]], List[Action]] = {}
+        self._matrix_cache: Dict[Tuple[int, Optional[int]], np.ndarray] = {}
+
+    # -- state/action representations ---------------------------------- #
+    def state_vector(self, state: EntityState) -> np.ndarray:
+        """Concatenation of the user and current-entity representations."""
+        return np.concatenate([
+            self.representations.entity_vector(state.user_entity),
+            self.representations.entity_vector(state.current_entity),
+        ])
+
+    def action_vector(self, action: Action) -> np.ndarray:
+        """Concatenation of the relation and target-entity representations."""
+        relation, target = action
+        return np.concatenate([
+            self.representations.relation_vector(relation),
+            self.representations.entity_vector(target),
+        ])
+
+    def action_matrix(self, actions: Sequence[Action],
+                      cache_key: Optional[Tuple[int, Optional[int]]] = None) -> np.ndarray:
+        """Stacked action vectors, shape ``(len(actions), 2 * dim)``."""
+        if cache_key is not None and cache_key in self._matrix_cache:
+            return self._matrix_cache[cache_key]
+        matrix = np.stack([self.action_vector(action) for action in actions])
+        if cache_key is not None:
+            self._matrix_cache[cache_key] = matrix
+        return matrix
+
+    # -- action enumeration --------------------------------------------- #
+    def actions(self, state: EntityState, target_category: Optional[int] = None,
+                forbid_return_to_user: bool = True) -> List[Action]:
+        """Valid pruned actions from ``state``.
+
+        ``target_category`` enables CADRL's category-guided pruning; baselines
+        pass ``None`` and get plain degree pruning.  A self-loop is always
+        available so the agent can terminate early.
+        """
+        cache_key = (state.current_entity, target_category)
+        if forbid_return_to_user and cache_key in self._action_cache:
+            cached = self._action_cache[cache_key]
+            return [action for action in cached
+                    if not (action[1] == state.user_entity
+                            and state.current_entity != state.user_entity)]
+        if target_category is None:
+            candidates = degree_prune(self.graph, state.current_entity, self.max_actions,
+                                      rng=self.rng)
+        else:
+            candidates = category_guided_prune(self.graph, state.current_entity,
+                                               self.max_actions, target_category)
+        candidates = ensure_self_loop(candidates, state.current_entity)
+        if forbid_return_to_user:
+            self._action_cache[cache_key] = candidates
+            return [action for action in candidates
+                    if not (action[1] == state.user_entity
+                            and state.current_entity != state.user_entity)]
+        return candidates
+
+    def step(self, state: EntityState, action: Action) -> EntityState:
+        """Deterministic transition: move to the action's target entity."""
+        _, target = action
+        return EntityState(user_entity=state.user_entity, current_entity=target,
+                           step=state.step + 1)
+
+    # -- rewards --------------------------------------------------------- #
+    def terminal_reward(self, state: EntityState, positive_items: Set[int]) -> float:
+        """Binary terminal reward ``1_{Vu}(e_L)`` (Section IV-C.2)."""
+        return 1.0 if state.current_entity in positive_items else 0.0
+
+    def is_item(self, entity_id: int) -> bool:
+        return self.graph.entities.type_of(entity_id) == EntityType.ITEM
+
+    def initial_state(self, user_entity: int) -> EntityState:
+        return EntityState(user_entity=user_entity, current_entity=user_entity, step=0)
+
+
+class CategoryEnvironment:
+    """The category agent's view of ``Gc`` (action space ``A^c``)."""
+
+    def __init__(self, category_graph: CategoryGraph, graph: KnowledgeGraph,
+                 representations: Representations, max_actions: int = 10) -> None:
+        if max_actions <= 0:
+            raise ValueError("max_actions must be positive")
+        self.category_graph = category_graph
+        self.graph = graph
+        self.representations = representations
+        self.max_actions = max_actions
+
+    def state_vector(self, state: CategoryState) -> np.ndarray:
+        """Concatenation of user, start-category and current-category vectors."""
+        return np.concatenate([
+            self.representations.entity_vector(state.user_entity),
+            self.representations.category_vector(state.start_category),
+            self.representations.category_vector(state.current_category),
+        ])
+
+    def action_vector(self, category_id: int) -> np.ndarray:
+        return self.representations.category_vector(category_id)
+
+    def action_matrix(self, categories: Sequence[int]) -> np.ndarray:
+        return np.stack([self.action_vector(category) for category in categories])
+
+    def actions(self, state: CategoryState) -> List[int]:
+        """Adjacent categories plus the self-loop, truncated to ``max_actions``.
+
+        Truncation keeps the categories whose representation is most similar to
+        the user's, a cheap relevance heuristic that bounds ``|A^c|`` exactly
+        like the paper's hyper-parameter (max 10).
+        """
+        moves = self.category_graph.actions(state.current_category, include_self_loop=True)
+        if len(moves) <= self.max_actions:
+            return moves
+        user_vector = self.representations.entity_vector(state.user_entity)
+        scores = []
+        for category in moves:
+            vector = self.representations.category_vector(category)
+            denominator = (np.linalg.norm(user_vector) * np.linalg.norm(vector)) or 1.0
+            scores.append(float(np.dot(user_vector, vector) / denominator))
+        keep = np.argsort(scores)[::-1][: self.max_actions - 1]
+        selected = [moves[i] for i in sorted(keep)]
+        if state.current_category not in selected:
+            selected.insert(0, state.current_category)
+        return selected
+
+    def step(self, state: CategoryState, category_id: int) -> CategoryState:
+        return CategoryState(user_entity=state.user_entity,
+                             start_category=state.start_category,
+                             current_category=category_id,
+                             step=state.step + 1)
+
+    def terminal_reward(self, state: CategoryState, target_categories: Set[int]) -> float:
+        """Binary terminal reward ``1(c_L)`` — reached a category holding a target item."""
+        return 1.0 if state.current_category in target_categories else 0.0
+
+    def initial_state(self, user_entity: int, start_category: int) -> CategoryState:
+        return CategoryState(user_entity=user_entity, start_category=start_category,
+                             current_category=start_category, step=0)
+
+    def start_category_for(self, user_entity: int, fallback: int = 0) -> int:
+        """Initial category: the category of an item directly purchased by the user."""
+        purchased = self.graph.purchased_items(user_entity)
+        for item in purchased:
+            category = self.graph.category_of(item)
+            if category is not None:
+                return category
+        return fallback

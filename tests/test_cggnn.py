@@ -1,0 +1,196 @@
+"""Unit tests for the CGGNN (neighbourhood table, layers, model, training)."""
+
+import numpy as np
+import pytest
+
+from repro.cggnn import (
+    CGGNN,
+    CGGNNConfig,
+    CGGNNTrainer,
+    CGGNNTrainingConfig,
+    CategoryAttentionLayer,
+    GatedAggregationLayer,
+    AdaptivePropagationLayer,
+    build_neighbourhood_table,
+    train_cggnn,
+)
+from repro.kg import EntityType
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def small_cggnn(tiny_kg, tiny_transe):
+    graph, _, _ = tiny_kg
+    transe, _ = tiny_transe
+    config = CGGNNConfig(embedding_dim=16, num_ggnn_layers=2, num_category_layers=1,
+                         max_neighbors=6, max_categories=3, seed=0)
+    return CGGNN(graph, transe, config)
+
+
+class TestNeighbourhoodTable:
+    def test_table_covers_all_items(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        table = build_neighbourhood_table(graph, max_neighbors=6, max_categories=3)
+        assert table.num_items == graph.entities.count(EntityType.ITEM)
+        assert table.neighbor_entities.shape == (table.num_items, 6)
+        assert table.category_ids.shape == (table.num_items, 3)
+
+    def test_masks_are_binary(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        table = build_neighbourhood_table(graph, max_neighbors=6, max_categories=3)
+        assert set(np.unique(table.neighbor_mask)) <= {0.0, 1.0}
+        assert set(np.unique(table.category_mask)) <= {0.0, 1.0}
+
+    def test_no_user_neighbours(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        table = build_neighbourhood_table(graph, max_neighbors=6, max_categories=3)
+        for row in range(table.num_items):
+            for column in range(table.max_neighbors):
+                if table.neighbor_mask[row, column]:
+                    neighbor = int(table.neighbor_entities[row, column])
+                    assert graph.entities.type_of(neighbor) != EntityType.USER
+
+    def test_item_position_maps_back(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        table = build_neighbourhood_table(graph)
+        for row, item in enumerate(table.item_ids[:10]):
+            assert table.item_position[int(item)] == row
+
+    def test_invalid_limits_raise(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        with pytest.raises(ValueError):
+            build_neighbourhood_table(graph, max_neighbors=0)
+
+
+class TestLayers:
+    def test_propagation_layer_output_shape(self, rng):
+        layer = AdaptivePropagationLayer(8, rng=rng)
+        items, neighbors = 5, 4
+        out = layer(Tensor(np.random.rand(items, 8)), Tensor(np.random.rand(items, neighbors, 8)),
+                    Tensor(np.random.rand(items, neighbors, 8)), Tensor(np.random.rand(8)),
+                    np.ones((items, neighbors)), np.ones((items, neighbors)))
+        assert out.shape == (items, 8)
+
+    def test_propagation_respects_mask(self, rng):
+        layer = AdaptivePropagationLayer(8, rng=rng)
+        items, neighbors = 3, 4
+        args = (Tensor(np.random.rand(items, 8)), Tensor(np.random.rand(items, neighbors, 8)),
+                Tensor(np.random.rand(items, neighbors, 8)), Tensor(np.random.rand(8)))
+        masked = layer(*args, np.zeros((items, neighbors)), np.ones((items, neighbors)))
+        assert np.allclose(masked.data, 0.0)
+
+    def test_gated_aggregation_interpolates(self, rng):
+        layer = GatedAggregationLayer(8, rng=rng)
+        message = Tensor(np.zeros((4, 8)))
+        states = Tensor(np.random.rand(4, 8))
+        out = layer(message, states)
+        assert out.shape == (4, 8)
+        assert np.all(np.isfinite(out.data))
+
+    def test_category_attention_weights_sum_to_one_effectively(self, rng):
+        layer = CategoryAttentionLayer(8, rng=rng)
+        items, cats = 4, 3
+        item_states = Tensor(np.random.rand(items, 8))
+        category_states = Tensor(np.random.rand(items, cats, 8))
+        mask = np.ones((items, cats))
+        out = layer(item_states, category_states, mask)
+        assert out.shape == (items, 8)
+        # With a single unmasked category the context equals that category.
+        single_mask = np.zeros((items, cats))
+        single_mask[:, 0] = 1.0
+        single = layer(item_states, category_states, single_mask)
+        assert np.allclose(single.data, category_states.data[:, 0, :], atol=1e-6)
+
+    def test_layer_dimension_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePropagationLayer(0)
+        with pytest.raises(ValueError):
+            GatedAggregationLayer(-1)
+        with pytest.raises(ValueError):
+            CategoryAttentionLayer(0)
+
+
+class TestCGGNNModel:
+    def test_forward_shape(self, small_cggnn):
+        out = small_cggnn.forward()
+        assert out.shape == (small_cggnn.table.num_items, 16)
+        assert np.all(np.isfinite(out.data))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CGGNNConfig(delta=2.0).validate()
+        with pytest.raises(ValueError):
+            CGGNNConfig(embedding_dim=0).validate()
+
+    def test_dimension_mismatch_raises(self, tiny_kg, tiny_transe):
+        graph, _, _ = tiny_kg
+        transe, _ = tiny_transe
+        with pytest.raises(ValueError):
+            CGGNN(graph, transe, CGGNNConfig(embedding_dim=99))
+
+    def test_export_representations_shapes(self, small_cggnn, tiny_kg):
+        graph, _, _ = tiny_kg
+        representations = small_cggnn.export_representations()
+        assert representations.entity.shape == (graph.num_entities, 16)
+        assert representations.category.shape[0] == graph.num_categories
+        assert representations.dim == 16
+
+    def test_export_only_changes_item_rows(self, small_cggnn, tiny_kg):
+        graph, _, _ = tiny_kg
+        representations = small_cggnn.export_representations()
+        static = small_cggnn.static_representations()
+        item_ids = set(int(i) for i in small_cggnn.table.item_ids)
+        for entity_id in range(0, graph.num_entities, 13):
+            if entity_id not in item_ids:
+                assert np.allclose(representations.entity[entity_id],
+                                   static.entity[entity_id])
+
+    def test_disabling_ggnn_keeps_items_near_static(self, tiny_kg, tiny_transe):
+        graph, _, _ = tiny_kg
+        transe, _ = tiny_transe
+        config = CGGNNConfig(embedding_dim=16, use_ggnn=False, num_category_layers=0,
+                             max_neighbors=4, max_categories=3, seed=0)
+        model = CGGNN(graph, transe, config)
+        out = model.forward()
+        assert np.allclose(out.data, model.item_embeddings.data)
+
+    def test_delta_zero_removes_category_context(self, tiny_kg, tiny_transe):
+        graph, _, _ = tiny_kg
+        transe, _ = tiny_transe
+        base = CGGNNConfig(embedding_dim=16, num_ggnn_layers=1, num_category_layers=1,
+                           max_neighbors=4, max_categories=3, delta=0.0, seed=0)
+        with_context = CGGNNConfig(embedding_dim=16, num_ggnn_layers=1, num_category_layers=1,
+                                   max_neighbors=4, max_categories=3, delta=0.5, seed=0)
+        out_zero = CGGNN(graph, transe, base).forward()
+        out_ctx = CGGNN(graph, transe, with_context).forward()
+        assert not np.allclose(out_zero.data, out_ctx.data)
+
+
+class TestCGGNNTraining:
+    def test_training_reduces_bpr_loss(self, tiny_kg, tiny_transe):
+        graph, _, _ = tiny_kg
+        transe, _ = tiny_transe
+        config = CGGNNConfig(embedding_dim=16, num_ggnn_layers=1, num_category_layers=1,
+                             max_neighbors=4, max_categories=3, seed=0)
+        model = CGGNN(graph, transe, config)
+        _, losses = train_cggnn(graph, model,
+                                CGGNNTrainingConfig(epochs=6, learning_rate=3e-3, seed=0))
+        assert len(losses) == 6
+        assert losses[-1] < losses[0]
+
+    def test_zero_epochs_yields_empty_history(self, tiny_kg, small_cggnn):
+        graph, _, _ = tiny_kg
+        trainer = CGGNNTrainer(small_cggnn, graph, CGGNNTrainingConfig(epochs=0))
+        assert trainer.train() == []
+
+    def test_training_config_validation(self):
+        with pytest.raises(ValueError):
+            CGGNNTrainingConfig(learning_rate=0).validate()
+        with pytest.raises(ValueError):
+            CGGNNTrainingConfig(batch_size=0).validate()
+
+    def test_purchase_pairs_only_reference_items(self, tiny_kg, small_cggnn):
+        graph, _, _ = tiny_kg
+        trainer = CGGNNTrainer(small_cggnn, graph)
+        positions = set(range(small_cggnn.table.num_items))
+        assert all(int(pair[1]) in positions for pair in trainer._pairs)

@@ -1,0 +1,90 @@
+"""Unit tests for the TransE embedding substrate."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import TransEConfig, TransEModel, category_embeddings, train_transe
+from repro.kg import Relation
+
+
+class TestTransEConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransEConfig(embedding_dim=0).validate()
+        with pytest.raises(ValueError):
+            TransEConfig(margin=0).validate()
+        with pytest.raises(ValueError):
+            TransEConfig(learning_rate=0).validate()
+        TransEConfig().validate()
+
+
+class TestTransEModel:
+    def test_tables_have_expected_shapes(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        model = TransEModel(graph.num_entities, TransEConfig(embedding_dim=8))
+        assert model.entity_embeddings.shape == (graph.num_entities, 8)
+        assert model.relation_embeddings.shape[1] == 8
+
+    def test_entities_are_norm_bounded(self, tiny_transe):
+        model, _ = tiny_transe
+        norms = np.linalg.norm(model.entity_embeddings, axis=1)
+        assert np.all(norms <= 1.0 + 1e-6)
+
+    def test_score_is_negative_distance(self, tiny_transe):
+        model, _ = tiny_transe
+        assert model.score(0, Relation.PURCHASE, 1) <= 0.0
+
+    def test_score_tails_matches_scalar_score(self, tiny_transe):
+        model, _ = tiny_transe
+        candidates = np.array([1, 2, 3])
+        vectorised = model.score_tails(0, Relation.PURCHASE, candidates)
+        scalar = [model.score(0, Relation.PURCHASE, int(t)) for t in candidates]
+        assert np.allclose(vectorised, scalar)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_transe):
+        _, losses = tiny_transe
+        assert len(losses) == 6
+        assert losses[-1] < losses[0]
+
+    def test_training_separates_positive_from_random(self, tiny_kg, tiny_transe):
+        graph, _, _ = tiny_kg
+        model, _ = tiny_transe
+        rng = np.random.default_rng(0)
+        positives, randoms = [], []
+        triplets = list(graph.triplets())[:200]
+        for triplet in triplets:
+            positives.append(model.score(triplet.head, triplet.relation, triplet.tail))
+            randoms.append(model.score(triplet.head, triplet.relation,
+                                       int(rng.integers(0, graph.num_entities))))
+        assert np.mean(positives) > np.mean(randoms)
+
+    def test_zero_epochs_returns_no_losses(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        _, losses = train_transe(graph, TransEConfig(embedding_dim=8, epochs=0))
+        assert losses == []
+
+    def test_training_is_deterministic_per_seed(self, tiny_kg):
+        graph, _, _ = tiny_kg
+        config = TransEConfig(embedding_dim=8, epochs=2, seed=11)
+        first, _ = train_transe(graph, config)
+        second, _ = train_transe(graph, config)
+        assert np.allclose(first.entity_embeddings, second.entity_embeddings)
+
+
+class TestCategoryEmbeddings:
+    def test_shape_matches_category_count(self, tiny_kg, tiny_transe):
+        graph, _, _ = tiny_kg
+        model, _ = tiny_transe
+        table = category_embeddings(model, graph)
+        assert table.shape == (graph.num_categories, model.config.embedding_dim)
+
+    def test_category_vector_is_mean_of_member_items(self, tiny_kg, tiny_transe):
+        graph, _, _ = tiny_kg
+        model, _ = tiny_transe
+        table = category_embeddings(model, graph)
+        category = 0
+        members = graph.items_in_category(category)
+        expected = np.mean([model.entity(item) for item in members], axis=0)
+        assert np.allclose(table[category], expected)

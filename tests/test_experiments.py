@@ -1,0 +1,99 @@
+"""Smoke tests for the experiment harness (small subsets of each table/figure)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig3_cggnn_modules,
+    fig4_darl_modules,
+    fig5_path_length,
+    fig6_hyperparams,
+    fig7_case_study,
+    table1_accuracy,
+    table2_datasets,
+    table3_efficiency,
+    table4_ablation,
+)
+from repro.experiments.common import ExperimentSetting, format_table
+
+
+class TestCommon:
+    def test_profiles(self):
+        smoke = ExperimentSetting.from_profile("smoke")
+        paper = ExperimentSetting.from_profile("paper")
+        assert smoke.dataset_scale < paper.dataset_scale
+        assert smoke.darl_epochs < paper.darl_epochs
+        with pytest.raises(ValueError):
+            ExperimentSetting.from_profile("huge")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5
+
+    def test_registry_contains_all_experiments(self):
+        assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table4",
+                                    "fig3", "fig4", "fig5", "fig6", "fig7"}
+
+
+class TestTable1:
+    def test_run_small_subset(self):
+        result = table1_accuracy.run(profile="smoke", datasets=["beauty"],
+                                     baselines=["Popularity", "HeteroEmbed"],
+                                     include_cadrl=False)
+        metrics = result.metrics["beauty"]
+        assert set(metrics) == {"Popularity", "HeteroEmbed"}
+        for values in metrics.values():
+            assert set(values) == {"ndcg", "recall", "hit_ratio", "precision"}
+        report = table1_accuracy.report(result)
+        assert "Table I" in report
+
+
+class TestTable2:
+    def test_statistics_and_sparsity_claim(self):
+        result = table2_datasets.run(scale=0.5)
+        assert set(result.statistics) == {"beauty", "cellphones", "clothing"}
+        assert result.items_per_category("clothing") < result.items_per_category("beauty")
+        assert "Table II" in table2_datasets.report(result)
+
+
+class TestTable3:
+    def test_timing_result_structure(self, monkeypatch):
+        result = table3_efficiency.run(profile="smoke", datasets=["cellphones"],
+                                       num_users=3, paths_per_user=3)
+        timings = result.timings["cellphones"]
+        assert "CADRL" in timings and "PGPR" in timings
+        assert all(t.recommendation_seconds >= 0 for t in timings.values())
+        assert "Table III" in table3_efficiency.report(result)
+
+
+class TestTable4AndFigures:
+    def test_table4_variants(self):
+        result = table4_ablation.run(profile="smoke", datasets=["cellphones"],
+                                     variants=["CADRL w/o CGGNN", "CADRL"])
+        assert set(result.metrics["cellphones"]) == {"CADRL w/o CGGNN", "CADRL"}
+        assert "Table IV" in table4_ablation.report(result)
+
+    def test_fig5_sweep_structure(self):
+        result = fig5_path_length.run(profile="smoke", datasets=["cellphones"],
+                                      lengths=[2, 3], models=["CADRL"])
+        curve = result.ndcg["cellphones"]["CADRL"]
+        assert set(curve) == {2, 3}
+        assert result.optimal_length("cellphones", "CADRL") in (2, 3)
+        assert "Fig. 5" in fig5_path_length.report(result)
+
+    def test_fig6_sweep_structure(self):
+        result = fig6_hyperparams.run(profile="smoke", datasets=["cellphones"],
+                                      parameters=["delta"], values=[0.2, 0.8])
+        curve = result.precision["cellphones"]["delta"]
+        assert set(curve) == {0.2, 0.8}
+        assert "Fig. 6" in fig6_hyperparams.report(result)
+
+    def test_fig7_case_study(self):
+        result = fig7_case_study.run(profile="smoke", num_users=1, paths_per_user=2)
+        assert result.entries
+        models = {entry.model for entry in result.entries}
+        assert "CADRL" in models
+        report = fig7_case_study.report(result)
+        assert "case study" in report

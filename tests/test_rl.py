@@ -1,0 +1,235 @@
+"""Unit tests for the RL substrate (environments, rewards, REINFORCE, trajectories)."""
+
+import numpy as np
+import pytest
+
+from repro.kg import Relation
+from repro.nn import Tensor
+from repro.rl import (
+    CategoryEnvironment,
+    EntityEnvironment,
+    MovingBaseline,
+    ReinforceConfig,
+    apply_update,
+    collaborative_rewards,
+    consistency_reward,
+    discounted_returns,
+    guidance_reward,
+    policy_gradient_loss,
+    soft_item_reward,
+)
+from repro.rl.trajectory import EntityStep, EpisodeResult, RecommendationPath
+from repro import nn
+
+
+@pytest.fixture(scope="module")
+def environments(tiny_kg, tiny_representations):
+    graph, category_graph, builder = tiny_kg
+    entity_env = EntityEnvironment(graph, tiny_representations, max_actions=10)
+    category_env = CategoryEnvironment(category_graph, graph, tiny_representations,
+                                       max_actions=5)
+    return entity_env, category_env, builder
+
+
+class TestEntityEnvironment:
+    def test_initial_state_starts_at_user(self, environments):
+        entity_env, _, builder = environments
+        user = builder.user_to_entity(0)
+        state = entity_env.initial_state(user)
+        assert state.current_entity == user
+        assert state.step == 0
+
+    def test_actions_are_bounded_and_contain_self_loop(self, environments):
+        entity_env, _, builder = environments
+        state = entity_env.initial_state(builder.user_to_entity(0))
+        actions = entity_env.actions(state)
+        assert len(actions) <= entity_env.max_actions + 1
+        assert any(relation == Relation.SELF_LOOP for relation, _ in actions)
+
+    def test_step_moves_to_target(self, environments):
+        entity_env, _, builder = environments
+        state = entity_env.initial_state(builder.user_to_entity(0))
+        action = entity_env.actions(state)[0]
+        new_state = entity_env.step(state, action)
+        assert new_state.current_entity == action[1]
+        assert new_state.step == 1
+
+    def test_state_and_action_vectors_dimensions(self, environments, tiny_representations):
+        entity_env, _, builder = environments
+        state = entity_env.initial_state(builder.user_to_entity(0))
+        assert entity_env.state_vector(state).shape == (2 * tiny_representations.dim,)
+        action = entity_env.actions(state)[0]
+        assert entity_env.action_vector(action).shape == (2 * tiny_representations.dim,)
+
+    def test_terminal_reward_binary(self, environments):
+        entity_env, _, builder = environments
+        user = builder.user_to_entity(0)
+        item = builder.item_to_entity(0)
+        state = entity_env.initial_state(user)
+        state.current_entity = item
+        assert entity_env.terminal_reward(state, {item}) == 1.0
+        assert entity_env.terminal_reward(state, {item + 1}) == 0.0
+
+    def test_guided_actions_prefer_target_category(self, environments, tiny_kg):
+        entity_env, _, builder = environments
+        graph, _, _ = tiny_kg
+        item = builder.item_to_entity(0)
+        state = entity_env.initial_state(builder.user_to_entity(0))
+        state.current_entity = item
+        neighbors = graph.outgoing(item)
+        categories = [graph.category_of(t) for _, t in neighbors if graph.category_of(t) is not None]
+        if categories:
+            target = categories[0]
+            actions = entity_env.actions(state, target_category=target)
+            reached = [graph.category_of(t) for _, t in actions]
+            assert target in reached
+
+    def test_forbid_return_to_user(self, environments, tiny_kg):
+        entity_env, _, builder = environments
+        graph, _, _ = tiny_kg
+        user = builder.user_to_entity(0)
+        purchased = graph.purchased_items(user)
+        if purchased:
+            state = entity_env.initial_state(user)
+            state.current_entity = purchased[0]
+            actions = entity_env.actions(state)
+            assert all(target != user for _, target in actions)
+
+    def test_invalid_max_actions(self, tiny_kg, tiny_representations):
+        graph, _, _ = tiny_kg
+        with pytest.raises(ValueError):
+            EntityEnvironment(graph, tiny_representations, max_actions=0)
+
+
+class TestCategoryEnvironment:
+    def test_start_category_comes_from_purchases(self, environments, tiny_kg):
+        _, category_env, builder = environments
+        graph, _, _ = tiny_kg
+        user = builder.user_to_entity(0)
+        start = category_env.start_category_for(user)
+        purchased_categories = {graph.category_of(item) for item in graph.purchased_items(user)}
+        assert start in purchased_categories or not purchased_categories
+
+    def test_actions_include_current_category(self, environments):
+        _, category_env, builder = environments
+        user = builder.user_to_entity(0)
+        state = category_env.initial_state(user, 0)
+        actions = category_env.actions(state)
+        assert 0 in actions
+        assert len(actions) <= category_env.max_actions
+
+    def test_step_and_terminal_reward(self, environments):
+        _, category_env, builder = environments
+        user = builder.user_to_entity(0)
+        state = category_env.initial_state(user, 0)
+        new_state = category_env.step(state, 1)
+        assert new_state.current_category == 1
+        assert category_env.terminal_reward(new_state, {1}) == 1.0
+        assert category_env.terminal_reward(new_state, {2}) == 0.0
+
+    def test_state_vector_dimension(self, environments, tiny_representations):
+        _, category_env, builder = environments
+        state = category_env.initial_state(builder.user_to_entity(0), 0)
+        assert category_env.state_vector(state).shape == (3 * tiny_representations.dim,)
+
+
+class TestRewards:
+    def test_guidance_reward_zero_influence(self):
+        uniform = np.array([0.25, 0.25, 0.25, 0.25])
+        reward = guidance_reward(uniform, [uniform, uniform])
+        assert reward == pytest.approx(0.5)
+
+    def test_guidance_reward_increases_with_influence(self):
+        conditional = np.array([0.9, 0.05, 0.05])
+        counterfactual = np.array([1 / 3] * 3)
+        strong = guidance_reward(conditional, [counterfactual])
+        weak = guidance_reward(counterfactual, [counterfactual])
+        assert strong > weak
+
+    def test_guidance_reward_with_weights(self):
+        conditional = np.array([0.7, 0.3])
+        alternatives = [np.array([0.5, 0.5]), np.array([0.7, 0.3])]
+        weighted = guidance_reward(conditional, alternatives, [0.0, 1.0])
+        assert weighted == pytest.approx(0.5)
+
+    def test_guidance_reward_no_counterfactuals(self):
+        assert guidance_reward(np.array([1.0]), []) == pytest.approx(0.5)
+
+    def test_consistency_reward_is_cosine(self):
+        assert consistency_reward(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert consistency_reward(np.array([1.0, 0.0, 5.0]),
+                                  np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_collaborative_rewards_structure(self):
+        rewards = collaborative_rewards(terminal_category=1.0, terminal_entity=1.0,
+                                        guidance=[0.5, 0.5], consistency=[0.2, 0.4],
+                                        alpha_pe=0.5, alpha_pc=0.6)
+        assert rewards["category"] == pytest.approx([0.1, 1.2])
+        assert rewards["entity"] == pytest.approx([0.3, 1.3])
+
+    def test_collaborative_rewards_requires_aligned_lengths(self):
+        with pytest.raises(ValueError):
+            collaborative_rewards(0, 0, guidance=[0.1], consistency=[], alpha_pe=1, alpha_pc=1)
+
+    def test_soft_item_reward_nonnegative(self):
+        assert soft_item_reward(np.array([1.0, 0.0]), np.array([-1.0, 0.0])) == 0.0
+        assert soft_item_reward(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(1.0)
+
+
+class TestReinforce:
+    def test_discounted_returns(self):
+        assert discounted_returns([0.0, 0.0, 1.0], gamma=0.5) == pytest.approx([0.25, 0.5, 1.0])
+        assert discounted_returns([], gamma=0.9) == []
+
+    def test_moving_baseline_tracks_returns(self):
+        baseline = MovingBaseline(momentum=0.5)
+        assert baseline.value == 0.0
+        baseline.update(1.0)
+        baseline.update(0.0)
+        assert baseline.value == pytest.approx(0.5)
+
+    def test_policy_gradient_loss_empty(self):
+        assert policy_gradient_loss([], [], ReinforceConfig()) is None
+
+    def test_policy_gradient_loss_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            policy_gradient_loss([Tensor([0.0])], [], ReinforceConfig())
+
+    def test_policy_gradient_moves_probability_towards_reward(self, rng):
+        """A bandit: action 0 always rewarded — its probability should rise."""
+        logits_param = Tensor(np.zeros(3), requires_grad=True)
+        optimiser = nn.SGD([logits_param], lr=0.5)
+        config = ReinforceConfig(gamma=1.0)
+        from repro.nn import functional as F
+        for _ in range(50):
+            log_probs = F.log_softmax(logits_param, axis=-1)
+            action = int(rng.choice(3, p=np.exp(log_probs.data)))
+            reward = 1.0 if action == 0 else 0.0
+            loss = policy_gradient_loss([log_probs[action]], [reward], config)
+            apply_update(loss, [logits_param], optimiser, config)
+        final_probs = np.exp(logits_param.data) / np.exp(logits_param.data).sum()
+        assert final_probs[0] > 0.5
+
+    def test_reinforce_config_validation(self):
+        with pytest.raises(ValueError):
+            ReinforceConfig(gamma=1.5).validate()
+        with pytest.raises(ValueError):
+            ReinforceConfig(baseline_momentum=1.0).validate()
+
+
+class TestTrajectories:
+    def test_episode_result_accessors(self):
+        episode = EpisodeResult(user_id=1, start_entity=1)
+        assert episode.final_entity == 1
+        assert episode.final_category is None
+        episode.entity_steps.append(EntityStep(entity_id=5, relation=Relation.PURCHASE,
+                                               log_prob=None, reward=0.5))
+        assert episode.final_entity == 5
+        assert episode.total_entity_reward() == pytest.approx(0.5)
+        assert episode.entity_path() == [(Relation.PURCHASE, 5)]
+
+    def test_recommendation_path_length(self):
+        path = RecommendationPath(user_entity=0, item_entity=3,
+                                  hops=((Relation.PURCHASE, 1), (Relation.ALSO_BOUGHT, 3)),
+                                  score=-1.0)
+        assert path.length == 2
