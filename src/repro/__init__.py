@@ -11,6 +11,10 @@ Public API highlights
 * :mod:`repro.baselines` — the comparison methods from Table I/III.
 * :mod:`repro.eval` — ranking metrics, timing and explanation tooling.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.serving` — the online serving subsystem: a
+  :class:`~repro.serving.RecommendationService` facade over the trained
+  artifacts with result caching, micro-batched inference, tiered fallbacks
+  (full beam search → stale cache → embedding top-k) and rolling telemetry.
 """
 
 __version__ = "0.1.0"

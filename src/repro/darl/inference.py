@@ -15,6 +15,7 @@ this is what the efficiency study (Table III) measures.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -44,6 +45,8 @@ class InferenceConfig:
     def validate(self) -> None:
         if self.beam_width <= 0 or self.expansions_per_beam <= 0 or self.top_k <= 0:
             raise ValueError("beam-search sizes must be positive")
+        if self.min_path_length <= 0:
+            raise ValueError("min_path_length must be positive")
 
 
 @dataclass
@@ -71,7 +74,8 @@ class PathRecommender:
                  guidance: Optional[GuidanceModel] = None,
                  max_path_length: int = 6, max_entity_actions: int = 50,
                  max_category_actions: int = 10, use_dual_agent: bool = True,
-                 config: Optional[InferenceConfig] = None) -> None:
+                 config: Optional[InferenceConfig] = None,
+                 milestone_cache_limit: int = 16384) -> None:
         self.graph = graph
         self.representations = representations
         self.policy = policy
@@ -80,6 +84,22 @@ class PathRecommender:
         self.use_dual_agent = use_dual_agent
         self.config = config or InferenceConfig()
         self.config.validate()
+        if max_path_length <= 0:
+            raise ValueError("max_path_length must be positive")
+        if self.config.min_path_length > max_path_length:
+            raise ValueError(
+                f"min_path_length ({self.config.min_path_length}) cannot exceed "
+                f"max_path_length ({max_path_length}); such a configuration can "
+                "never emit a recommendation")
+        if milestone_cache_limit <= 0:
+            raise ValueError("milestone_cache_limit must be positive")
+        # Per-user greedy milestone trajectories.  The trajectory only depends
+        # on the (frozen) policy and representations, so it is safe to reuse
+        # across recommend/find_paths calls; the serving micro-batcher also
+        # seeds it with vectorised batch rollouts.  LRU-bounded so a long-lived
+        # serving process does not grow it one entry per distinct user forever.
+        self.milestone_cache: "OrderedDict[int, List[Optional[int]]]" = OrderedDict()
+        self.milestone_cache_limit = milestone_cache_limit
         self.entity_environment = EntityEnvironment(graph, representations,
                                                     max_actions=max_entity_actions)
         self.category_environment = CategoryEnvironment(category_graph, graph, representations,
@@ -93,7 +113,7 @@ class PathRecommender:
         """Top-k recommended items for a user, each with its best explanation path."""
         exclude = exclude_items or set()
         k = top_k or self.config.top_k
-        candidates = self._search(user_entity, exclude)
+        candidates = self.search(user_entity, exclude)
         ranked = sorted(candidates.values(), key=lambda path: path.score, reverse=True)
         return ranked[:k]
 
@@ -113,13 +133,39 @@ class PathRecommender:
         This is the "path finding" workload of Table III: raw path discovery
         without the top-k ranking step.
         """
-        candidates = self._search(user_entity, exclude_items=set(), keep_all_paths=True)
+        candidates = self.search(user_entity, exclude_items=set(), keep_all_paths=True)
         paths = sorted(candidates.values(), key=lambda path: path.score, reverse=True)
         return paths[:num_paths]
 
     # ------------------------------------------------------------------ #
     # category milestone trajectory (one per user, greedy)
     # ------------------------------------------------------------------ #
+    def category_milestones(self, user_entity: int,
+                            refresh: bool = False) -> List[Optional[int]]:
+        """Cached greedy milestone trajectory for ``user_entity``.
+
+        The trajectory is deterministic given the frozen policy, so repeated
+        searches for the same user (warm-up, batched serving, find_paths after
+        recommend) skip the category-agent rollout entirely.
+        """
+        if refresh or user_entity not in self.milestone_cache:
+            self.store_milestones(user_entity, self._category_milestones(user_entity))
+        else:
+            self.milestone_cache.move_to_end(user_entity)
+        return self.milestone_cache[user_entity]
+
+    def store_milestones(self, user_entity: int,
+                         milestones: List[Optional[int]]) -> None:
+        """Insert one trajectory, evicting least-recently-used beyond the limit."""
+        self.milestone_cache[user_entity] = milestones
+        self.milestone_cache.move_to_end(user_entity)
+        while len(self.milestone_cache) > self.milestone_cache_limit:
+            self.milestone_cache.popitem(last=False)
+
+    def clear_milestone_cache(self) -> None:
+        """Drop all cached milestone trajectories."""
+        self.milestone_cache.clear()
+
     def _category_milestones(self, user_entity: int) -> List[Optional[int]]:
         """Greedy category-level path of length ``max_path_length``."""
         if not self.use_dual_agent:
@@ -148,9 +194,18 @@ class PathRecommender:
     # ------------------------------------------------------------------ #
     # beam search over the entity-level KG
     # ------------------------------------------------------------------ #
-    def _search(self, user_entity: int, exclude_items: Set[int],
-                keep_all_paths: bool = False) -> Dict[int, RecommendationPath]:
-        milestones = self._category_milestones(user_entity)
+    def search(self, user_entity: int, exclude_items: Set[int],
+               keep_all_paths: bool = False,
+               milestones: Optional[List[Optional[int]]] = None
+               ) -> Dict[int, RecommendationPath]:
+        """Single-search core: beam search guided by the milestone trajectory.
+
+        This is the reusable unit the serving micro-batcher drives directly —
+        ``milestones`` may be injected (e.g. from a vectorised batch rollout);
+        otherwise the per-user cached trajectory is used.
+        """
+        if milestones is None:
+            milestones = self.category_milestones(user_entity)
         beams = [self._initial_beam(user_entity)]
         found: Dict[int, RecommendationPath] = {}
 

@@ -126,6 +126,10 @@ class SharedPolicyNetworks(nn.Module):
     # Beam-search inference never needs gradients; these mirrors of the methods
     # above run directly on the parameter arrays, which keeps the efficiency
     # study (Table III) honest about CADRL's deployment cost.
+    #
+    # Every method accepts either a single state (1-D vectors) or a batch of
+    # states (2-D arrays with a leading batch axis) — the serving micro-batcher
+    # uses the batched form to vectorise one rollout step across many users.
 
     def _lstm_step_numpy(self, cell: nn.LSTMCell, step: np.ndarray,
                          state: Tuple[np.ndarray, np.ndarray]
@@ -134,21 +138,28 @@ class SharedPolicyNetworks(nn.Module):
         gates = step @ cell.weight_ih.data + hidden @ cell.weight_hh.data + cell.bias.data
         h = cell.hidden_size
         sigmoid = lambda x: 1.0 / (1.0 + np.exp(-x))  # noqa: E731 - tiny local helper
-        input_gate = sigmoid(gates[0:h])
-        forget_gate = sigmoid(gates[h:2 * h])
-        candidate = np.tanh(gates[2 * h:3 * h])
-        output_gate = sigmoid(gates[3 * h:4 * h])
+        input_gate = sigmoid(gates[..., 0:h])
+        forget_gate = sigmoid(gates[..., h:2 * h])
+        candidate = np.tanh(gates[..., 2 * h:3 * h])
+        output_gate = sigmoid(gates[..., 3 * h:4 * h])
         new_memory = forget_gate * memory + input_gate * candidate
         new_hidden = output_gate * np.tanh(new_memory)
         return new_hidden, new_memory
 
-    def initial_state_numpy(self) -> Tuple[np.ndarray, np.ndarray]:
+    def initial_state_numpy(self, batch_size: Optional[int] = None
+                            ) -> Tuple[np.ndarray, np.ndarray]:
         h = self.config.hidden_size
+        if batch_size is not None:
+            return np.zeros((batch_size, h)), np.zeros((batch_size, h))
         return np.zeros(h), np.zeros(h)
 
-    def _partner_numpy(self, partner_hidden: Optional[np.ndarray]) -> np.ndarray:
+    def _partner_numpy(self, partner_hidden: Optional[np.ndarray],
+                       like: Optional[np.ndarray] = None) -> np.ndarray:
         if partner_hidden is None or not self.config.share_history:
-            return np.zeros(self.config.hidden_size)
+            h = self.config.hidden_size
+            if like is not None and like.ndim == 2:
+                return np.zeros((like.shape[0], h))
+            return np.zeros(h)
         return partner_hidden
 
     def encode_entity_step_numpy(self, relation_vector: np.ndarray, entity_vector: np.ndarray,
@@ -156,7 +167,8 @@ class SharedPolicyNetworks(nn.Module):
                                  state: Tuple[np.ndarray, np.ndarray]
                                  ) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
         step = np.concatenate([relation_vector, entity_vector,
-                               self._partner_numpy(partner_hidden)])
+                               self._partner_numpy(partner_hidden, like=entity_vector)],
+                              axis=-1)
         hidden, memory = self._lstm_step_numpy(self.entity_lstm, step, state)
         return hidden, (hidden, memory)
 
@@ -164,26 +176,40 @@ class SharedPolicyNetworks(nn.Module):
                                    partner_hidden: Optional[np.ndarray],
                                    state: Tuple[np.ndarray, np.ndarray]
                                    ) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
-        step = np.concatenate([category_vector, self._partner_numpy(partner_hidden)])
+        step = np.concatenate([category_vector,
+                               self._partner_numpy(partner_hidden, like=category_vector)],
+                              axis=-1)
         hidden, memory = self._lstm_step_numpy(self.category_lstm, step, state)
         return hidden, (hidden, memory)
+
+    def entity_query_numpy(self, entity_vector: np.ndarray, relation_vector: np.ndarray,
+                           history_hidden: np.ndarray) -> np.ndarray:
+        """Entity-policy query vector(s) (Eq. 16) without the action dot-product."""
+        state_input = np.concatenate([entity_vector, relation_vector, history_hidden],
+                                     axis=-1)
+        hidden = np.maximum(state_input @ self.entity_mlp_in.weight.data
+                            + self.entity_mlp_in.bias.data, 0.0)
+        return hidden @ self.entity_mlp_out.weight.data + self.entity_mlp_out.bias.data
+
+    def category_query_numpy(self, user_vector: np.ndarray, category_vector: np.ndarray,
+                             history_hidden: np.ndarray) -> np.ndarray:
+        """Category-policy query vector(s) (Eq. 15) without the action dot-product."""
+        state_input = np.concatenate([user_vector, category_vector, history_hidden],
+                                     axis=-1)
+        hidden = np.maximum(state_input @ self.category_mlp_in.weight.data
+                            + self.category_mlp_in.bias.data, 0.0)
+        return hidden @ self.category_mlp_out.weight.data + self.category_mlp_out.bias.data
 
     def entity_action_logits_numpy(self, entity_vector: np.ndarray,
                                    relation_vector: np.ndarray,
                                    history_hidden: np.ndarray,
                                    action_matrix: np.ndarray) -> np.ndarray:
-        state_input = np.concatenate([entity_vector, relation_vector, history_hidden])
-        hidden = np.maximum(state_input @ self.entity_mlp_in.weight.data
-                            + self.entity_mlp_in.bias.data, 0.0)
-        query = hidden @ self.entity_mlp_out.weight.data + self.entity_mlp_out.bias.data
-        return action_matrix @ query
+        return action_matrix @ self.entity_query_numpy(entity_vector, relation_vector,
+                                                       history_hidden)
 
     def category_action_logits_numpy(self, user_vector: np.ndarray,
                                      category_vector: np.ndarray,
                                      history_hidden: np.ndarray,
                                      action_matrix: np.ndarray) -> np.ndarray:
-        state_input = np.concatenate([user_vector, category_vector, history_hidden])
-        hidden = np.maximum(state_input @ self.category_mlp_in.weight.data
-                            + self.category_mlp_in.bias.data, 0.0)
-        query = hidden @ self.category_mlp_out.weight.data + self.category_mlp_out.bias.data
-        return action_matrix @ query
+        return action_matrix @ self.category_query_numpy(user_vector, category_vector,
+                                                         history_hidden)

@@ -1,5 +1,6 @@
 """KG embedding substrate (TransE pre-training)."""
 
-from .transe import TransEConfig, TransEModel, category_embeddings, train_transe
+from .transe import TransEConfig, TransEModel, category_embeddings, top_k_by_score, train_transe
 
-__all__ = ["TransEConfig", "TransEModel", "category_embeddings", "train_transe"]
+__all__ = ["TransEConfig", "TransEModel", "category_embeddings", "top_k_by_score",
+           "train_transe"]

@@ -14,7 +14,7 @@ pre-training stage down).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -88,6 +88,41 @@ class TransEModel:
         translated = self.entity(head) + self.relation(relation)
         diffs = translated[None, :] - self.entity_embeddings[candidates]
         return -np.linalg.norm(diffs, axis=1)
+
+    def top_k_items(self, user_entity: int, candidate_items: np.ndarray, k: int,
+                    relation: Relation = Relation.PURCHASE,
+                    exclude: Optional[Iterable[int]] = None) -> List[int]:
+        """Top-``k`` candidates by translation score, best first.
+
+        One vectorised score-and-partition pass over the candidate set; this is
+        the cold-start / over-budget fallback tier of ``repro.serving``, so it
+        has to stay cheap (no per-item Python loops).
+        """
+        candidates = np.asarray(candidate_items, dtype=np.int64)
+        if exclude is not None:
+            excluded = np.fromiter(exclude, dtype=np.int64)
+            if excluded.size:
+                candidates = candidates[~np.isin(candidates, excluded)]
+        if k <= 0 or candidates.size == 0:
+            return []
+        return top_k_by_score(candidates, self.score_tails(user_entity, relation,
+                                                           candidates), k)
+
+
+def top_k_by_score(candidates: np.ndarray, scores: np.ndarray, k: int) -> List[int]:
+    """Ids of the ``k`` best-scoring candidates, best first (vectorised).
+
+    Shared by :meth:`TransEModel.top_k_items` and the serving fallback rankers
+    so the partition/sort selection logic lives in one place.
+    """
+    if k <= 0 or candidates.size == 0:
+        return []
+    if k < candidates.size:
+        top = np.argpartition(-scores, k - 1)[:k]
+    else:
+        top = np.arange(candidates.size)
+    order = top[np.argsort(-scores[top])]
+    return [int(candidate) for candidate in candidates[order]]
 
 
 def train_transe(graph: KnowledgeGraph, config: Optional[TransEConfig] = None

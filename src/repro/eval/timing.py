@@ -9,6 +9,7 @@ comparable in spirit (the extrapolated and the raw numbers are both reported).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence
@@ -37,28 +38,45 @@ class TimingResult:
     paths_found: int
 
     def recommendation_per_1k_users(self) -> float:
-        """Extrapolated seconds per 1 000 users (the paper's unit)."""
+        """Extrapolated seconds per 1 000 users (the paper's unit).
+
+        NaN when no users were measured — extrapolating from an empty workload
+        would otherwise report a misleading ``0.0``.
+        """
         if self.recommendation_users == 0:
-            return 0.0
+            return float("nan")
         return 1000.0 * self.recommendation_seconds / self.recommendation_users
 
     def pathfinding_per_10k_paths(self) -> float:
-        """Extrapolated seconds per 10 000 paths (the paper's unit)."""
+        """Extrapolated seconds per 10 000 paths (NaN when none were found)."""
         if self.paths_found == 0:
-            return 0.0
+            return float("nan")
         return 10000.0 * self.pathfinding_seconds / self.paths_found
+
+    @staticmethod
+    def _format_seconds(value: float) -> str:
+        return f"{'n/a':>9s} " if math.isnan(value) else f"{value:9.2f}s"
 
     def summary_row(self) -> str:
         return (f"{self.model_name:<22s} "
-                f"Rec(1k users)={self.recommendation_per_1k_users():9.2f}s  "
-                f"Find(10k paths)={self.pathfinding_per_10k_paths():9.2f}s")
+                f"Rec(1k users)={self._format_seconds(self.recommendation_per_1k_users())}  "
+                f"Find(10k paths)={self._format_seconds(self.pathfinding_per_10k_paths())}")
 
 
 def time_recommendations(model, users: Sequence[int], top_k: int = 10) -> float:
-    """Seconds spent producing top-k recommendations for ``users``."""
+    """Seconds spent producing top-k recommendations for ``users``.
+
+    A serving facade (anything exposing ``serve_many`` + ``build_requests``,
+    i.e. :class:`repro.serving.RecommendationService`) is timed through one
+    batched call — caching and micro-batching are part of its deployment cost,
+    so Table III can report served next to raw numbers.
+    """
     start = time.perf_counter()
-    for user_id in users:
-        model.recommend_items(user_id, top_k)
+    if hasattr(model, "serve_many") and hasattr(model, "build_requests"):
+        model.serve_many(model.build_requests(users, top_k=top_k))
+    else:
+        for user_id in users:
+            model.recommend_items(user_id, top_k)
     return time.perf_counter() - start
 
 

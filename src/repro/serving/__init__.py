@@ -1,0 +1,50 @@
+"""Online recommendation serving for the trained CADRL artifacts.
+
+The paper's efficiency study (Table III) times a bare inference loop; this
+package is the deployment counterpart the ROADMAP asks for — a service facade
+with result caching, micro-batched inference, tiered fallbacks and telemetry:
+
+* :class:`RecommendationService` — the facade: ``serve`` / ``serve_many`` over
+  typed :class:`RecommendationRequest` / :class:`RecommendationResponse`.
+* :class:`ResultCache` — LRU + TTL result cache with explicit invalidation.
+* :class:`MicroBatcher` — deduplicates users and vectorises the shared
+  category-milestone rollouts across a batch.
+* :class:`TieredRanker` — full beam search → stale cache → embedding top-k,
+  chosen per request from its latency budget and the user's history.
+* :class:`ServingTelemetry` — rolling p50/p95/p99 latency, QPS, hit rates.
+"""
+
+from .batching import MicroBatcher, batched_category_milestones
+from .cache import CacheKey, CacheStats, ResultCache
+from .fallback import (
+    FallbackRanker,
+    RepresentationFallbackRanker,
+    ServingTier,
+    TieredRanker,
+    TransEFallbackRanker,
+)
+from .service import (
+    RecommendationRequest,
+    RecommendationResponse,
+    RecommendationService,
+    ServingConfig,
+)
+from .telemetry import ServingTelemetry
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "FallbackRanker",
+    "MicroBatcher",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "RecommendationService",
+    "RepresentationFallbackRanker",
+    "ResultCache",
+    "ServingConfig",
+    "ServingTelemetry",
+    "ServingTier",
+    "TieredRanker",
+    "TransEFallbackRanker",
+    "batched_category_milestones",
+]

@@ -1,0 +1,124 @@
+"""LRU + TTL result cache for the online serving layer.
+
+Keys are the full request identity ``(user_entity, top_k, frozenset(exclude))``
+so two requests only share a cached result when they would have produced the
+same answer.  Expired entries are *kept* until LRU capacity evicts them: the
+fallback tier deliberately serves them as stale results when a request's
+latency budget rules out a fresh beam search.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Optional, Tuple
+
+CacheKey = Tuple[int, int, FrozenSet[int]]
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed through the telemetry snapshot."""
+
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fresh-hit rate over all lookups (0.0 before any traffic)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    value: Any
+    expires_at: float
+
+
+class ResultCache:
+    """Bounded LRU cache whose entries additionally expire after a TTL.
+
+    ``clock`` is injectable so tests can advance time explicitly; it must be a
+    monotonic seconds counter.
+    """
+
+    def __init__(self, capacity: int = 1024, ttl_seconds: float = 300.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        if ttl_seconds <= 0:
+            raise ValueError("cache TTL must be positive")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def get(self, key: CacheKey) -> Optional[Any]:
+        """Fresh lookup: the value if present and unexpired, else ``None``.
+
+        An expired entry counts as a miss but stays cached for :meth:`get_stale`.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.expires_at <= self._clock():
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def get_stale(self, key: CacheKey) -> Optional[Any]:
+        """Staleness-tolerant lookup used by the over-budget fallback tier."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self.stats.stale_hits += 1
+        return entry.value
+
+    def has(self, key: CacheKey) -> bool:
+        """Fresh-presence peek that does not touch counters or LRU order."""
+        entry = self._entries.get(key)
+        return entry is not None and entry.expires_at > self._clock()
+
+    def has_stale(self, key: CacheKey) -> bool:
+        """Presence peek ignoring expiry (again counter/LRU neutral)."""
+        return key in self._entries
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def put(self, key: CacheKey, value: Any) -> None:
+        self._entries[key] = _Entry(value=value, expires_at=self._clock() + self.ttl_seconds)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one entry; returns whether it existed."""
+        if self._entries.pop(key, None) is not None:
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_user(self, user_entity: int) -> int:
+        """Drop every cached result of one user (e.g. after a new interaction)."""
+        doomed = [key for key in self._entries if key[0] == user_entity]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,133 @@
+"""Tiered ranking: full beam search → stale cached result → embedding top-k.
+
+The full dual-agent beam search gives the best (and explainable) results, but
+it is orders of magnitude more expensive than a vectorised embedding lookup.
+The :class:`TieredRanker` therefore degrades gracefully per request:
+
+* cold-start users (no purchase edges in the KG) can't seed a category
+  milestone rollout, so they go straight to the embedding tier;
+* a request whose latency budget is below the current full-search cost
+  estimate (an EWMA over observed searches) is answered from a stale cache
+  entry when one exists, otherwise from the embedding tier;
+* everything else gets the full search.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, List, Optional, Protocol
+
+import numpy as np
+
+from ..cggnn.model import Representations
+from ..embeddings.transe import TransEModel, top_k_by_score
+from ..kg.entities import EntityType
+from ..kg.graph import KnowledgeGraph
+from ..kg.relations import Relation
+
+
+class ServingTier(str, Enum):
+    """How a response was produced, from most to least expensive."""
+
+    FULL = "full_search"
+    CACHE = "cache"
+    STALE = "stale_cache"
+    EMBEDDING = "embedding_topk"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FallbackRanker(Protocol):
+    """Cheap vectorised ranker answering cold-start / over-budget requests."""
+
+    def top_k(self, user_entity: int, k: int,
+              exclude: Iterable[int] = ()) -> List[int]:
+        ...
+
+
+class TransEFallbackRanker:
+    """Ranks the item catalogue by TransE translation score (pre-CGGNN)."""
+
+    def __init__(self, model: TransEModel, graph: KnowledgeGraph) -> None:
+        self._model = model
+        self._items = np.array(graph.entities.ids_of_type(EntityType.ITEM), dtype=np.int64)
+
+    def top_k(self, user_entity: int, k: int,
+              exclude: Iterable[int] = ()) -> List[int]:
+        return self._model.top_k_items(user_entity, self._items, k, exclude=exclude)
+
+
+class RepresentationFallbackRanker:
+    """Same translation geometry over the CGGNN-refined representation table.
+
+    Used when the service is constructed without a TransE model: the item rows
+    of :class:`Representations` are the best available embedding table, and
+    scoring ``-||u + r_purchase - v||²`` matches ``CADRL.score_items``.
+    """
+
+    def __init__(self, representations: Representations, graph: KnowledgeGraph) -> None:
+        self._representations = representations
+        self._items = np.array(graph.entities.ids_of_type(EntityType.ITEM), dtype=np.int64)
+        self._item_matrix = representations.entity[self._items]
+        self._purchase_vector = representations.relation_vector(Relation.PURCHASE)
+
+    def top_k(self, user_entity: int, k: int,
+              exclude: Iterable[int] = ()) -> List[int]:
+        candidates = self._items
+        matrix = self._item_matrix
+        excluded = np.fromiter(exclude, dtype=np.int64) if exclude else np.empty(0, np.int64)
+        if excluded.size:
+            keep = ~np.isin(candidates, excluded)
+            candidates, matrix = candidates[keep], matrix[keep]
+        if candidates.size == 0:
+            return []
+        query = self._representations.entity_vector(user_entity) + self._purchase_vector
+        differences = matrix - query[None, :]
+        scores = -np.sum(differences * differences, axis=1)
+        return top_k_by_score(candidates, scores, k)
+
+
+class TieredRanker:
+    """Per-request tier selection plus the full-search latency estimator."""
+
+    def __init__(self, graph: KnowledgeGraph, ranker: FallbackRanker,
+                 assumed_full_search_ms: float = 50.0,
+                 ewma_alpha: float = 0.2) -> None:
+        if assumed_full_search_ms <= 0:
+            raise ValueError("assumed_full_search_ms must be positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+        self._graph = graph
+        self._ranker = ranker
+        self._ewma_alpha = ewma_alpha
+        self._estimate_ms = assumed_full_search_ms
+
+    @property
+    def estimated_full_search_ms(self) -> float:
+        return self._estimate_ms
+
+    def observe_full_search(self, latency_ms: float) -> None:
+        """Fold one observed full-search latency into the EWMA estimate."""
+        alpha = self._ewma_alpha
+        self._estimate_ms = alpha * float(latency_ms) + (1.0 - alpha) * self._estimate_ms
+
+    def is_cold(self, user_entity: int) -> bool:
+        """No purchase history → no milestone rollout → no useful beam search."""
+        return not self._graph.purchased_items(user_entity)
+
+    def choose(self, request, stale_available: bool) -> ServingTier:
+        """Tier for a request that already missed the fresh cache."""
+        if self.is_cold(request.user_entity):
+            return ServingTier.EMBEDDING
+        budget = request.latency_budget_ms
+        if budget is not None and budget < self._estimate_ms:
+            if stale_available and request.allow_stale:
+                return ServingTier.STALE
+            return ServingTier.EMBEDDING
+        return ServingTier.FULL
+
+    def fallback_items(self, request) -> List[int]:
+        """Answer a request from the embedding tier."""
+        return self._ranker.top_k(request.user_entity, request.top_k,
+                                  exclude=request.exclude_items)

@@ -1,0 +1,280 @@
+"""The online recommendation-serving facade.
+
+``RecommendationService`` turns the trained CADRL artifacts — knowledge graph,
+category graph, CGGNN representations and the shared policy — into a service
+with one request/response API:
+
+* results are cached (LRU + TTL) on the full request identity;
+* batches are deduplicated and their shared rollout work vectorised
+  (:mod:`repro.serving.batching`);
+* cold users and over-budget requests degrade through the tier chain of
+  :mod:`repro.serving.fallback` instead of failing or stalling;
+* every request feeds the rolling telemetry (:mod:`repro.serving.telemetry`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from ..cggnn.model import Representations
+from ..darl.collaborative import GuidanceModel
+from ..darl.inference import InferenceConfig, PathRecommender
+from ..darl.shared_policy import SharedPolicyNetworks
+from ..embeddings.transe import TransEModel
+from ..kg.category_graph import CategoryGraph
+from ..kg.graph import KnowledgeGraph
+from ..rl.trajectory import RecommendationPath
+from .batching import MicroBatcher
+from .cache import CacheKey, ResultCache
+from .fallback import (
+    RepresentationFallbackRanker,
+    ServingTier,
+    TieredRanker,
+    TransEFallbackRanker,
+)
+from .telemetry import ServingTelemetry
+
+
+@dataclass
+class ServingConfig:
+    """Operational knobs of the service (model knobs live in the recommender)."""
+
+    cache_capacity: int = 1024
+    cache_ttl_seconds: float = 300.0
+    telemetry_window: int = 512
+    assumed_full_search_ms: float = 50.0
+    latency_ewma_alpha: float = 0.2
+    default_top_k: int = 10
+
+    def validate(self) -> None:
+        if self.cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive")
+        if self.cache_ttl_seconds <= 0:
+            raise ValueError("cache_ttl_seconds must be positive")
+        if self.telemetry_window <= 1:
+            raise ValueError("telemetry_window must be at least 2")
+        if self.assumed_full_search_ms <= 0:
+            raise ValueError("assumed_full_search_ms must be positive")
+        if not 0.0 < self.latency_ewma_alpha <= 1.0:
+            raise ValueError("latency_ewma_alpha must lie in (0, 1]")
+        if self.default_top_k <= 0:
+            raise ValueError("default_top_k must be positive")
+
+
+@dataclass(frozen=True)
+class RecommendationRequest:
+    """One user's recommendation query.
+
+    ``latency_budget_ms`` is the caller's deadline hint: requests whose budget
+    is below the service's current full-search cost estimate are answered from
+    a cheaper tier.  ``allow_stale`` opts in/out of expired cached results for
+    such over-budget requests.
+    """
+
+    user_entity: int
+    top_k: int = 10
+    exclude_items: FrozenSet[int] = frozenset()
+    latency_budget_ms: Optional[float] = None
+    allow_stale: bool = True
+
+    def __post_init__(self) -> None:
+        if self.top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if self.latency_budget_ms is not None and self.latency_budget_ms < 0:
+            raise ValueError("latency_budget_ms must be non-negative")
+        if not isinstance(self.exclude_items, frozenset):
+            object.__setattr__(self, "exclude_items", frozenset(self.exclude_items))
+
+    def cache_key(self) -> CacheKey:
+        return (self.user_entity, self.top_k, self.exclude_items)
+
+
+@dataclass
+class RecommendationResponse:
+    """Served result: ranked item entities plus provenance."""
+
+    request: RecommendationRequest
+    items: List[int]
+    paths: List[RecommendationPath]
+    tier: ServingTier
+    cache_hit: bool
+    latency_ms: float
+
+    @property
+    def explainable(self) -> bool:
+        """Whether explanation paths are attached (full-search tiers only)."""
+        return bool(self.paths)
+
+
+class RecommendationService:
+    """Facade over the trained CADRL artifacts for online traffic.
+
+    Construct either from the raw artifacts (the issue's canonical signature)
+    or via :meth:`from_cadrl` from a fitted :class:`repro.darl.CADRL` model.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, category_graph: CategoryGraph,
+                 representations: Representations, policy: SharedPolicyNetworks,
+                 *, guidance: Optional[GuidanceModel] = None,
+                 inference_config: Optional[InferenceConfig] = None,
+                 recommender: Optional[PathRecommender] = None,
+                 transe: Optional[TransEModel] = None,
+                 config: Optional[ServingConfig] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 name: str = "RecommendationService") -> None:
+        self.config = config or ServingConfig()
+        self.config.validate()
+        self.name = name
+        self._clock = clock
+        self.recommender = recommender or PathRecommender(
+            graph, category_graph, representations, policy,
+            guidance=guidance, config=inference_config)
+        self.graph = self.recommender.graph
+        self.cache = ResultCache(capacity=self.config.cache_capacity,
+                                 ttl_seconds=self.config.cache_ttl_seconds,
+                                 clock=clock)
+        self.telemetry = ServingTelemetry(window=self.config.telemetry_window, clock=clock)
+        ranker = (TransEFallbackRanker(transe, self.graph) if transe is not None
+                  else RepresentationFallbackRanker(self.recommender.representations,
+                                                    self.graph))
+        self.tiers = TieredRanker(self.graph, ranker,
+                                  assumed_full_search_ms=self.config.assumed_full_search_ms,
+                                  ewma_alpha=self.config.latency_ewma_alpha)
+        self.batcher = MicroBatcher(self.recommender)
+
+    @classmethod
+    def from_cadrl(cls, model, *, transe: Optional[TransEModel] = None,
+                   config: Optional[ServingConfig] = None,
+                   name: str = "CADRL (served)") -> "RecommendationService":
+        """Wrap a fitted :class:`repro.darl.CADRL` facade, reusing its recommender."""
+        if model.recommender is None:
+            raise RuntimeError("CADRL.fit must be called before serving")
+        return cls(model.graph, model.category_graph, model.representations,
+                   model.trainer.policy, recommender=model.recommender,
+                   transe=transe, config=config, name=name)
+
+    # ------------------------------------------------------------------ #
+    # request construction helpers
+    # ------------------------------------------------------------------ #
+    def build_requests(self, user_entities: Sequence[int], top_k: Optional[int] = None,
+                       exclude_items: Optional[Dict[int, Iterable[int]]] = None,
+                       latency_budget_ms: Optional[float] = None
+                       ) -> List[RecommendationRequest]:
+        """Uniform requests for a list of users (evaluation / warm-up helper)."""
+        exclude_items = exclude_items or {}
+        k = top_k or self.config.default_top_k
+        return [RecommendationRequest(
+                    user_entity=user, top_k=k,
+                    exclude_items=frozenset(exclude_items.get(user, ())),
+                    latency_budget_ms=latency_budget_ms)
+                for user in user_entities]
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def serve(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Answer one request through cache → tier selection → ranking."""
+        start = self._clock()
+        key = request.cache_key()
+        paths: Sequence[RecommendationPath] = ()
+        cached = self.cache.get(key)
+        if cached is not None:
+            items, paths = cached
+            tier, cache_hit = ServingTier.CACHE, True
+        else:
+            cache_hit = False
+            tier = self.tiers.choose(request, stale_available=self.cache.has_stale(key))
+            if tier is ServingTier.FULL:
+                full = self.recommender.recommend(
+                    request.user_entity, exclude_items=set(request.exclude_items),
+                    top_k=request.top_k)
+                items = [path.item_entity for path in full]
+                paths = full
+                # Cached values are immutable tuples: responses hand out fresh
+                # lists, so a caller mutating them cannot corrupt the cache.
+                self.cache.put(key, (tuple(items), tuple(paths)))
+                self.tiers.observe_full_search((self._clock() - start) * 1000.0)
+            elif tier is ServingTier.STALE:
+                items, paths = self.cache.get_stale(key)
+            else:
+                items = self.tiers.fallback_items(request)
+                if self.tiers.is_cold(request.user_entity):
+                    # For cold users the full tier is never an option, so the
+                    # embedding answer is the best one — cache it.  Over-budget
+                    # warm users are *not* cached: their key must stay free for
+                    # the full-quality result a generous request will compute.
+                    self.cache.put(key, (tuple(items), ()))
+        latency_ms = (self._clock() - start) * 1000.0
+        self.telemetry.record(latency_ms, tier, cache_hit=cache_hit)
+        return RecommendationResponse(request=request, items=list(items),
+                                      paths=list(paths), tier=tier,
+                                      cache_hit=cache_hit, latency_ms=latency_ms)
+
+    def serve_many(self, requests: Sequence[RecommendationRequest]
+                   ) -> List[RecommendationResponse]:
+        """Answer a burst of requests with dedup + vectorised shared work.
+
+        Unique uncached full-tier users get one batched milestone rollout; the
+        per-request loop then reuses those trajectories, and duplicate request
+        keys collapse into cache hits after the first computation (full-search
+        and cold-user results are cached; over-budget stale/embedding answers
+        for warm users are not, so their keys stay free for a full result).
+        """
+        full_tier_users: List[int] = []
+        seen_keys = set()
+        for request in requests:
+            key = request.cache_key()
+            if key in seen_keys or self.cache.has(key):
+                continue
+            seen_keys.add(key)
+            tier = self.tiers.choose(request, stale_available=self.cache.has_stale(key))
+            if tier is ServingTier.FULL:
+                full_tier_users.append(request.user_entity)
+        self.batcher.warm_milestones(full_tier_users)
+        return [self.serve(request) for request in requests]
+
+    def warm_up(self, user_entities: Sequence[int], top_k: Optional[int] = None
+                ) -> List[RecommendationResponse]:
+        """Pre-populate the milestone and result caches for expected traffic."""
+        return self.serve_many(self.build_requests(user_entities, top_k=top_k))
+
+    # ------------------------------------------------------------------ #
+    # maintenance & observability
+    # ------------------------------------------------------------------ #
+    def invalidate_user(self, user_entity: int) -> int:
+        """Drop a user's cached results and milestone trajectory.
+
+        Call after the user's KG neighbourhood changed (new interaction);
+        returns the number of dropped result-cache entries.
+        """
+        self.recommender.milestone_cache.pop(user_entity, None)
+        return self.cache.invalidate_user(user_entity)
+
+    def telemetry_snapshot(self) -> Dict:
+        """Telemetry merged with cache statistics and the tier cost estimate."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["cache"] = {
+            "size": len(self.cache),
+            "hits": self.cache.stats.hits,
+            "misses": self.cache.stats.misses,
+            "stale_hits": self.cache.stats.stale_hits,
+            "evictions": self.cache.stats.evictions,
+            "invalidations": self.cache.stats.invalidations,
+            "hit_rate": self.cache.stats.hit_rate,
+        }
+        snapshot["estimated_full_search_ms"] = self.tiers.estimated_full_search_ms
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # timing-harness surface (duck-types the Table III recommender protocol)
+    # ------------------------------------------------------------------ #
+    def recommend_items(self, user_entity: int, top_k: int = 10) -> List[int]:
+        """Ranked item entities through the full serving path."""
+        return self.serve(RecommendationRequest(user_entity=user_entity,
+                                                top_k=top_k)).items
+
+    def find_paths(self, user_entity: int, num_paths: int) -> List[RecommendationPath]:
+        """Raw path discovery, passed through to the underlying recommender."""
+        return self.recommender.find_paths(user_entity, num_paths)

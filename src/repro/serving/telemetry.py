@@ -1,0 +1,83 @@
+"""Serving telemetry: rolling latency percentiles, QPS and tier usage.
+
+A fixed-size rolling window (default: the last 512 requests) keeps the
+percentile and QPS estimates responsive to the current traffic mix without
+unbounded memory; tier and cache counters are cumulative since start/reset.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Any, Callable, Deque, Dict, Tuple
+
+import numpy as np
+
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class ServingTelemetry:
+    """Aggregates per-request observations into a snapshot dict."""
+
+    def __init__(self, window: int = 512,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if window <= 1:
+            raise ValueError("telemetry window must be at least 2 requests")
+        self.window = window
+        self._clock = clock
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=window)
+        self._tier_counts: Counter = Counter()
+        self._cache_hits = 0
+        self._requests = 0
+
+    # ------------------------------------------------------------------ #
+    def record(self, latency_ms: float, tier: Any, cache_hit: bool = False) -> None:
+        """Record one served request (``tier`` is a ``ServingTier`` or string)."""
+        self._samples.append((self._clock(), float(latency_ms)))
+        self._tier_counts[str(getattr(tier, "value", tier))] += 1
+        self._cache_hits += int(cache_hit)
+        self._requests += 1
+
+    # ------------------------------------------------------------------ #
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 latency (ms) over the rolling window; NaN when empty."""
+        if not self._samples:
+            return {f"p{int(p)}": float("nan") for p in PERCENTILES}
+        latencies = np.array([latency for _, latency in self._samples])
+        values = np.percentile(latencies, PERCENTILES)
+        return {f"p{int(p)}": float(v) for p, v in zip(PERCENTILES, values)}
+
+    def qps(self) -> float:
+        """Requests per second across the rolling window (0.0 if undefined)."""
+        if len(self._samples) < 2:
+            return 0.0
+        span = self._samples[-1][0] - self._samples[0][0]
+        if span <= 0.0:
+            return 0.0
+        return (len(self._samples) - 1) / span
+
+    @property
+    def requests(self) -> int:
+        return self._requests
+
+    def cache_hit_rate(self) -> float:
+        return self._cache_hits / self._requests if self._requests else 0.0
+
+    def tier_counts(self) -> Dict[str, int]:
+        return dict(self._tier_counts)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One dict with everything a dashboard (or a test) wants to scrape."""
+        return {
+            "requests": self._requests,
+            "qps": self.qps(),
+            "latency_ms": self.latency_percentiles(),
+            "cache_hit_rate": self.cache_hit_rate(),
+            "tiers": self.tier_counts(),
+        }
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._tier_counts.clear()
+        self._cache_hits = 0
+        self._requests = 0

@@ -1,5 +1,7 @@
 """Unit tests for metrics, the evaluation protocol, timing and explanations."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -159,7 +161,13 @@ class TestTiming:
     def test_model_without_find_paths(self):
         result = measure_efficiency(_EmptyRecommender(), users=[0])
         assert result.paths_found == 0
-        assert result.pathfinding_per_10k_paths() == 0.0
+        assert math.isnan(result.pathfinding_per_10k_paths())
+        assert "n/a" in result.summary_row()
+
+    def test_empty_user_list_is_nan_not_zero(self):
+        result = measure_efficiency(_SleepyRecommender(), users=[])
+        assert math.isnan(result.recommendation_per_1k_users())
+        assert "n/a" in result.summary_row()
 
     def test_summary_row(self):
         row = measure_efficiency(_SleepyRecommender(), users=[0]).summary_row()

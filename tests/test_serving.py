@@ -1,0 +1,344 @@
+"""Tests for the online serving subsystem (repro.serving)."""
+
+import math
+
+import pytest
+
+from repro.darl import InferenceConfig, PathRecommender, PolicyConfig, SharedPolicyNetworks
+from repro.kg.entities import EntityType
+from repro.serving import (
+    MicroBatcher,
+    RecommendationRequest,
+    RecommendationService,
+    RepresentationFallbackRanker,
+    ResultCache,
+    ServingConfig,
+    ServingTelemetry,
+    ServingTier,
+    batched_category_milestones,
+)
+
+
+class FakeClock:
+    """Deterministic, manually advanced clock for cache/telemetry tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# --------------------------------------------------------------------- #
+# result cache
+# --------------------------------------------------------------------- #
+class TestResultCache:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache(capacity=4, ttl_seconds=10.0, clock=FakeClock())
+        key = (1, 10, frozenset())
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_ttl_expiry_is_a_miss_but_stale_readable(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=5.0, clock=clock)
+        key = (1, 10, frozenset())
+        cache.put(key, "value")
+        clock.advance(5.1)
+        assert cache.get(key) is None
+        assert not cache.has(key)
+        assert cache.has_stale(key)
+        assert cache.get_stale(key) == "value"
+        assert cache.stats.stale_hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2, ttl_seconds=10.0, clock=FakeClock())
+        first, second, third = [(u, 10, frozenset()) for u in (1, 2, 3)]
+        cache.put(first, "a")
+        cache.put(second, "b")
+        assert cache.get(first) == "a"     # bump first to most-recent
+        cache.put(third, "c")              # evicts second
+        assert cache.has(first) and cache.has(third)
+        assert not cache.has_stale(second)
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_user_drops_all_variants(self):
+        cache = ResultCache(capacity=8, ttl_seconds=10.0, clock=FakeClock())
+        cache.put((1, 5, frozenset()), "a")
+        cache.put((1, 10, frozenset({7})), "b")
+        cache.put((2, 5, frozenset()), "c")
+        assert cache.invalidate_user(1) == 2
+        assert len(cache) == 1
+        assert cache.has((2, 5, frozenset()))
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl_seconds=0.0)
+
+
+# --------------------------------------------------------------------- #
+# telemetry
+# --------------------------------------------------------------------- #
+class TestTelemetry:
+    def test_percentile_math(self):
+        telemetry = ServingTelemetry(window=256, clock=FakeClock())
+        for latency in range(1, 101):        # 1..100 ms
+            telemetry.record(float(latency), ServingTier.FULL)
+        percentiles = telemetry.latency_percentiles()
+        assert percentiles["p50"] == pytest.approx(50.5)
+        assert percentiles["p95"] == pytest.approx(95.05)
+        assert percentiles["p99"] == pytest.approx(99.01)
+
+    def test_qps_over_window(self):
+        clock = FakeClock()
+        telemetry = ServingTelemetry(window=16, clock=clock)
+        for _ in range(11):
+            telemetry.record(1.0, ServingTier.CACHE, cache_hit=True)
+            clock.advance(0.1)
+        assert telemetry.qps() == pytest.approx(10.0)
+        assert telemetry.cache_hit_rate() == 1.0
+
+    def test_empty_snapshot_is_nan_latency_zero_qps(self):
+        telemetry = ServingTelemetry(window=8, clock=FakeClock())
+        snapshot = telemetry.snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["qps"] == 0.0
+        assert math.isnan(snapshot["latency_ms"]["p50"])
+
+    def test_tier_counts_and_reset(self):
+        telemetry = ServingTelemetry(window=8, clock=FakeClock())
+        telemetry.record(1.0, ServingTier.FULL)
+        telemetry.record(1.0, ServingTier.EMBEDDING)
+        telemetry.record(1.0, ServingTier.EMBEDDING)
+        assert telemetry.tier_counts() == {"full_search": 1, "embedding_topk": 2}
+        telemetry.reset()
+        assert telemetry.requests == 0
+
+
+# --------------------------------------------------------------------- #
+# shared fixtures: a recommender + service over the tiny session stack
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def serving_stack(tiny_kg, tiny_representations):
+    graph, category_graph, builder = tiny_kg
+    policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                               mlp_hidden=16, seed=0))
+    recommender = PathRecommender(graph, category_graph, tiny_representations, policy,
+                                  max_path_length=4, max_entity_actions=8,
+                                  max_category_actions=4,
+                                  config=InferenceConfig(beam_width=6,
+                                                         expansions_per_beam=2))
+    service = RecommendationService(graph, category_graph, tiny_representations, policy,
+                                    recommender=recommender,
+                                    config=ServingConfig(cache_ttl_seconds=600.0))
+    users = [builder.user_to_entity(user) for user in range(6)]
+    return service, recommender, users, graph
+
+
+class TestBatching:
+    def test_batched_milestones_match_sequential(self, serving_stack):
+        _, recommender, users, _ = serving_stack
+        batched = batched_category_milestones(recommender, users)
+        for user in users:
+            assert batched[user] == recommender._category_milestones(user)
+
+    def test_warm_milestones_skips_cached_users(self, serving_stack):
+        _, recommender, users, _ = serving_stack
+        batcher = MicroBatcher(recommender)
+        recommender.clear_milestone_cache()
+        assert batcher.warm_milestones(users) == len(users)
+        assert batcher.warm_milestones(users) == 0
+        assert batcher.warm_milestones(users + users) == 0
+
+    def test_single_agent_mode_yields_none_milestones(self, tiny_kg,
+                                                      tiny_representations):
+        graph, category_graph, builder = tiny_kg
+        policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                                   mlp_hidden=16, seed=0))
+        recommender = PathRecommender(graph, category_graph, tiny_representations,
+                                      policy, max_path_length=3, max_entity_actions=6,
+                                      use_dual_agent=False)
+        milestones = batched_category_milestones(recommender,
+                                                 [builder.user_to_entity(0)])
+        assert milestones[builder.user_to_entity(0)] == [None, None, None]
+
+
+class TestService:
+    def test_serve_many_matches_direct_recommend(self, serving_stack):
+        service, recommender, users, _ = serving_stack
+        requests = service.build_requests(users, top_k=4)
+        responses = service.serve_many(requests)
+        for request, response in zip(requests, responses):
+            expected = recommender.recommend(request.user_entity, top_k=4)
+            assert response.items == [path.item_entity for path in expected]
+            assert response.tier in (ServingTier.FULL, ServingTier.CACHE)
+
+    def test_duplicate_requests_collapse_to_cache_hits(self, serving_stack):
+        service, _, users, _ = serving_stack
+        service.cache.clear()
+        requests = service.build_requests([users[0]] * 5, top_k=4)
+        responses = service.serve_many(requests)
+        assert sum(response.cache_hit for response in responses) == 4
+        assert {tuple(response.items) for response in responses} == {
+            tuple(responses[0].items)}
+
+    def test_cold_user_results_are_cached(self, serving_stack):
+        service, _, _, graph = serving_stack
+        cold = graph.entities.ids_of_type(EntityType.FEATURE)[1]
+        first = service.serve(RecommendationRequest(user_entity=cold, top_k=4))
+        second = service.serve(RecommendationRequest(user_entity=cold, top_k=4))
+        assert first.tier is ServingTier.EMBEDDING
+        assert second.tier is ServingTier.CACHE and second.cache_hit
+        assert second.items == first.items
+
+    def test_mutating_a_response_does_not_corrupt_the_cache(self, serving_stack):
+        service, _, users, _ = serving_stack
+        request = RecommendationRequest(user_entity=users[4], top_k=4)
+        first = service.serve(request)
+        pristine = list(first.items)
+        first.items.reverse()
+        first.paths.clear()
+        second = service.serve(request)
+        assert second.cache_hit
+        assert second.items == pristine
+
+    def test_milestone_cache_is_lru_bounded(self, serving_stack):
+        _, recommender, users, _ = serving_stack
+        limit, recommender.milestone_cache_limit = recommender.milestone_cache_limit, 2
+        try:
+            recommender.clear_milestone_cache()
+            for user in users[:4]:
+                recommender.category_milestones(user)
+            assert len(recommender.milestone_cache) == 2
+            assert list(recommender.milestone_cache) == users[2:4]
+        finally:
+            recommender.milestone_cache_limit = limit
+            recommender.clear_milestone_cache()
+
+    def test_cold_user_takes_embedding_tier(self, serving_stack):
+        service, _, _, graph = serving_stack
+        # A feature entity has no purchase edges, which is exactly the cold
+        # signal the tier chooser keys on.
+        cold = graph.entities.ids_of_type(EntityType.FEATURE)[0]
+        response = service.serve(RecommendationRequest(user_entity=cold, top_k=5))
+        assert response.tier is ServingTier.EMBEDDING
+        assert len(response.items) == 5
+        assert all(graph.entities.is_item(item) for item in response.items)
+        assert not response.explainable
+
+    def test_tight_budget_without_stale_falls_back_to_embedding(self, serving_stack):
+        service, _, users, _ = serving_stack
+        request = RecommendationRequest(user_entity=users[1], top_k=3,
+                                        exclude_items=frozenset({users[0]}),
+                                        latency_budget_ms=1e-6)
+        response = service.serve(request)
+        assert response.tier is ServingTier.EMBEDDING
+
+    def test_tight_budget_with_stale_entry_serves_stale(self, tiny_kg,
+                                                        tiny_representations):
+        graph, category_graph, builder = tiny_kg
+        clock = FakeClock()
+        policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                                   mlp_hidden=16, seed=0))
+        service = RecommendationService(graph, category_graph, tiny_representations,
+                                        policy, config=ServingConfig(cache_ttl_seconds=5.0),
+                                        clock=clock)
+        user = builder.user_to_entity(0)
+        fresh = service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        assert fresh.tier is ServingTier.FULL
+        clock.advance(6.0)                               # expire the entry
+        stale = service.serve(RecommendationRequest(user_entity=user, top_k=4,
+                                                    latency_budget_ms=1e-6))
+        assert stale.tier is ServingTier.STALE
+        assert stale.items == fresh.items
+        refused = service.serve(RecommendationRequest(user_entity=user, top_k=4,
+                                                      latency_budget_ms=1e-6,
+                                                      allow_stale=False))
+        assert refused.tier is ServingTier.EMBEDDING
+
+    def test_generous_budget_runs_full_search(self, serving_stack):
+        service, _, users, _ = serving_stack
+        request = RecommendationRequest(user_entity=users[2], top_k=3,
+                                        exclude_items=frozenset({-1}),
+                                        latency_budget_ms=1e9)
+        assert service.serve(request).tier is ServingTier.FULL
+
+    def test_invalidate_user_forces_recompute(self, serving_stack):
+        service, recommender, users, _ = serving_stack
+        user = users[3]
+        service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        assert service.invalidate_user(user) >= 1
+        assert user not in recommender.milestone_cache
+        response = service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        assert not response.cache_hit
+
+    def test_ewma_latency_estimate_tracks_observations(self, serving_stack):
+        service, _, _, _ = serving_stack
+        tiers = service.tiers
+        before = tiers.estimated_full_search_ms
+        tiers.observe_full_search(before * 3.0)
+        assert tiers.estimated_full_search_ms > before
+
+    def test_telemetry_snapshot_shape(self, serving_stack):
+        service, _, users, _ = serving_stack
+        service.serve_many(service.build_requests(users[:2], top_k=3))
+        snapshot = service.telemetry_snapshot()
+        assert snapshot["requests"] >= 2
+        assert {"p50", "p95", "p99"} <= set(snapshot["latency_ms"])
+        assert "cache" in snapshot and "hit_rate" in snapshot["cache"]
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            RecommendationRequest(user_entity=0, top_k=0)
+        with pytest.raises(ValueError):
+            RecommendationRequest(user_entity=0, latency_budget_ms=-1.0)
+        request = RecommendationRequest(user_entity=0, exclude_items={1, 2})
+        assert isinstance(request.exclude_items, frozenset)
+
+    def test_serving_config_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(cache_capacity=0).validate()
+        with pytest.raises(ValueError):
+            ServingConfig(latency_ewma_alpha=0.0).validate()
+        with pytest.raises(ValueError):
+            ServingConfig(default_top_k=0).validate()
+
+
+class TestFallbackRanker:
+    def test_representation_ranker_returns_items_best_first(self, serving_stack):
+        service, recommender, users, graph = serving_stack
+        ranker = RepresentationFallbackRanker(recommender.representations, graph)
+        items = ranker.top_k(users[0], 5)
+        assert len(items) == 5
+        assert all(graph.entities.is_item(item) for item in items)
+
+    def test_ranker_respects_exclusions(self, serving_stack):
+        _, recommender, users, graph = serving_stack
+        ranker = RepresentationFallbackRanker(recommender.representations, graph)
+        full = ranker.top_k(users[0], 5)
+        filtered = ranker.top_k(users[0], 5, exclude=frozenset(full[:2]))
+        assert not set(full[:2]) & set(filtered)
+
+
+class TestInferenceConfigSatellite:
+    def test_rejects_non_positive_min_path_length(self):
+        with pytest.raises(ValueError):
+            InferenceConfig(min_path_length=0).validate()
+
+    def test_recommender_rejects_min_longer_than_max(self, tiny_kg,
+                                                     tiny_representations):
+        graph, category_graph, _ = tiny_kg
+        policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                                   mlp_hidden=16, seed=0))
+        with pytest.raises(ValueError, match="min_path_length"):
+            PathRecommender(graph, category_graph, tiny_representations, policy,
+                            max_path_length=2,
+                            config=InferenceConfig(min_path_length=3))
