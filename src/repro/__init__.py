@@ -15,6 +15,9 @@ Public API highlights
   :class:`~repro.serving.RecommendationService` facade over the trained
   artifacts with result caching, micro-batched inference, tiered fallbacks
   (full beam search → stale cache → embedding top-k) and rolling telemetry.
+* :mod:`repro.simulate` — deterministic traffic simulation: seeded workload
+  traces (Zipf popularity, cold-start, bursty arrivals), an open/closed-loop
+  replay driver and correctness oracles over the serving stack.
 """
 
 __version__ = "0.1.0"

@@ -5,7 +5,9 @@ package is the deployment counterpart the ROADMAP asks for — a service facade
 with result caching, micro-batched inference, tiered fallbacks and telemetry:
 
 * :class:`RecommendationService` — the facade: ``serve`` / ``serve_many`` over
-  typed :class:`RecommendationRequest` / :class:`RecommendationResponse`.
+  typed :class:`RecommendationRequest` / :class:`RecommendationResponse`;
+  every response carries per-request provenance (``tier``, ``source_tier``,
+  ``cache_hit``) so load-replay oracles can assert correctness per request.
 * :class:`ResultCache` — LRU + TTL result cache with explicit invalidation.
 * :class:`MicroBatcher` — deduplicates users and vectorises the shared
   category-milestone rollouts across a batch.
@@ -24,6 +26,7 @@ from .fallback import (
     TransEFallbackRanker,
 )
 from .service import (
+    CachedResult,
     RecommendationRequest,
     RecommendationResponse,
     RecommendationService,
@@ -34,6 +37,7 @@ from .telemetry import ServingTelemetry
 __all__ = [
     "CacheKey",
     "CacheStats",
+    "CachedResult",
     "FallbackRanker",
     "MicroBatcher",
     "RecommendationRequest",

@@ -108,7 +108,16 @@ class TieredRanker:
         return self._estimate_ms
 
     def observe_full_search(self, latency_ms: float) -> None:
-        """Fold one observed full-search latency into the EWMA estimate."""
+        """Fold one observed full-search latency into the EWMA estimate.
+
+        Non-positive observations are discarded: a real beam search always
+        takes time, so a 0 ms reading only means the latency source carries no
+        information (e.g. a frozen virtual clock during deterministic load
+        replay) — folding it in would decay the estimate towards zero and
+        silently route over-budget requests to the full tier.
+        """
+        if latency_ms <= 0.0:
+            return
         alpha = self._ewma_alpha
         self._estimate_ms = alpha * float(latency_ms) + (1.0 - alpha) * self._estimate_ms
 

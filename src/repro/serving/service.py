@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..cggnn.model import Representations
 from ..darl.collaborative import GuidanceModel
@@ -91,14 +91,36 @@ class RecommendationRequest:
         return (self.user_entity, self.top_k, self.exclude_items)
 
 
+@dataclass(frozen=True)
+class CachedResult:
+    """What the result cache stores per key: the answer plus its provenance.
+
+    ``source_tier`` records which tier *computed* the items (``FULL`` for beam
+    search, ``EMBEDDING`` for cold-user fallback answers), so cache and stale
+    hits can report where their payload originally came from — without this a
+    cached cold-user embedding answer is indistinguishable from a cached full
+    search, which blocks per-request correctness oracles (:mod:`repro.simulate`).
+    """
+
+    items: Tuple[int, ...]
+    paths: Tuple[RecommendationPath, ...]
+    source_tier: ServingTier
+
+
 @dataclass
 class RecommendationResponse:
-    """Served result: ranked item entities plus provenance."""
+    """Served result: ranked item entities plus provenance.
+
+    ``tier`` is how *this* request was answered; ``source_tier`` is the tier
+    that originally computed the payload (they differ on cache/stale hits,
+    e.g. ``tier=CACHE, source_tier=FULL`` for a cached beam-search result).
+    """
 
     request: RecommendationRequest
     items: List[int]
     paths: List[RecommendationPath]
     tier: ServingTier
+    source_tier: ServingTier
     cache_hit: bool
     latency_ms: float
 
@@ -147,13 +169,18 @@ class RecommendationService:
     @classmethod
     def from_cadrl(cls, model, *, transe: Optional[TransEModel] = None,
                    config: Optional[ServingConfig] = None,
+                   clock: Callable[[], float] = time.perf_counter,
                    name: str = "CADRL (served)") -> "RecommendationService":
-        """Wrap a fitted :class:`repro.darl.CADRL` facade, reusing its recommender."""
+        """Wrap a fitted :class:`repro.darl.CADRL` facade, reusing its recommender.
+
+        ``clock`` is injectable like in the main constructor (e.g. a
+        :class:`repro.simulate.TraceClock` for virtual-time load replays).
+        """
         if model.recommender is None:
             raise RuntimeError("CADRL.fit must be called before serving")
         return cls(model.graph, model.category_graph, model.representations,
                    model.trainer.policy, recommender=model.recommender,
-                   transe=transe, config=config, name=name)
+                   transe=transe, config=config, clock=clock, name=name)
 
     # ------------------------------------------------------------------ #
     # request construction helpers
@@ -181,7 +208,7 @@ class RecommendationService:
         paths: Sequence[RecommendationPath] = ()
         cached = self.cache.get(key)
         if cached is not None:
-            items, paths = cached
+            items, paths, source_tier = cached.items, cached.paths, cached.source_tier
             tier, cache_hit = ServingTier.CACHE, True
         else:
             cache_hit = False
@@ -192,24 +219,30 @@ class RecommendationService:
                     top_k=request.top_k)
                 items = [path.item_entity for path in full]
                 paths = full
+                source_tier = ServingTier.FULL
                 # Cached values are immutable tuples: responses hand out fresh
                 # lists, so a caller mutating them cannot corrupt the cache.
-                self.cache.put(key, (tuple(items), tuple(paths)))
+                self.cache.put(key, CachedResult(tuple(items), tuple(paths),
+                                                 ServingTier.FULL))
                 self.tiers.observe_full_search((self._clock() - start) * 1000.0)
             elif tier is ServingTier.STALE:
-                items, paths = self.cache.get_stale(key)
+                stale = self.cache.get_stale(key)
+                items, paths, source_tier = stale.items, stale.paths, stale.source_tier
             else:
                 items = self.tiers.fallback_items(request)
+                source_tier = ServingTier.EMBEDDING
                 if self.tiers.is_cold(request.user_entity):
                     # For cold users the full tier is never an option, so the
                     # embedding answer is the best one — cache it.  Over-budget
                     # warm users are *not* cached: their key must stay free for
                     # the full-quality result a generous request will compute.
-                    self.cache.put(key, (tuple(items), ()))
+                    self.cache.put(key, CachedResult(tuple(items), (),
+                                                     ServingTier.EMBEDDING))
         latency_ms = (self._clock() - start) * 1000.0
         self.telemetry.record(latency_ms, tier, cache_hit=cache_hit)
         return RecommendationResponse(request=request, items=list(items),
                                       paths=list(paths), tier=tier,
+                                      source_tier=source_tier,
                                       cache_hit=cache_hit, latency_ms=latency_ms)
 
     def serve_many(self, requests: Sequence[RecommendationRequest]

@@ -1,0 +1,68 @@
+"""Deterministic traffic simulation and load replay for the serving stack.
+
+The package turns "does the serving stack survive load?" into a scripted,
+seeded experiment:
+
+* :mod:`~repro.simulate.workload` — seeded workload generation: Zipf-skewed
+  user popularity, cold-start fractions and uniform/Poisson/bursty arrival
+  processes, serialised as replayable :class:`Workload` traces with a content
+  ``signature()`` for determinism checks.
+* :mod:`~repro.simulate.replay` — the :class:`ReplayDriver` feeds a trace
+  through a :class:`repro.serving.RecommendationService` (open- or
+  closed-loop) and collects per-request :class:`RequestRecord`\\ s.
+* :mod:`~repro.simulate.oracles` — correctness oracles replaying served
+  answers against direct ``PathRecommender`` searches (exact for full-search
+  payloads, relaxed validity invariants for the fallback tiers).
+* :mod:`~repro.simulate.report` — summary + text report built on the
+  existing serving telemetry types.
+
+Typical use::
+
+    population = UserPopulation.from_graph(service.graph)
+    workload = generate_workload(population, WorkloadConfig(seed=7), service.graph)
+    result = ReplayDriver(service).replay(workload)
+    reports = run_oracles(service, result.records)
+    print(render_report(summarize(result, reports)))
+"""
+
+from .oracles import (
+    FallbackValidityOracle,
+    FullSearchOracle,
+    OracleFinding,
+    OracleReport,
+    StaleConsistencyOracle,
+    run_oracles,
+)
+from .replay import ReplayConfig, ReplayDriver, ReplayResult, RequestRecord, TraceClock
+from .report import render_report, replay_telemetry, summarize
+from .workload import (
+    ARRIVAL_PROCESSES,
+    SimulatedRequest,
+    UserPopulation,
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "FallbackValidityOracle",
+    "FullSearchOracle",
+    "OracleFinding",
+    "OracleReport",
+    "ReplayConfig",
+    "ReplayDriver",
+    "ReplayResult",
+    "RequestRecord",
+    "SimulatedRequest",
+    "StaleConsistencyOracle",
+    "TraceClock",
+    "UserPopulation",
+    "Workload",
+    "WorkloadConfig",
+    "generate_workload",
+    "render_report",
+    "replay_telemetry",
+    "run_oracles",
+    "summarize",
+]

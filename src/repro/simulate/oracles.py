@@ -1,0 +1,238 @@
+"""Correctness oracles: replayed results checked against ground truth.
+
+Serving a request can legitimately answer from four tiers, and "correct" means
+something different per tier.  Each oracle re-derives the expected answer for
+the tiers it understands and reports mismatches as :class:`OracleFinding`\\ s:
+
+* :class:`FullSearchOracle` — responses whose payload was computed by the full
+  beam search (``source_tier == FULL``, i.e. fresh full searches *and* cache
+  hits on them) must match a direct ``PathRecommender.recommend`` call
+  exactly, item for item and in order.
+* :class:`FallbackValidityOracle` — every response must satisfy the universal
+  invariants (unique items, at most ``top_k`` of them, exclusions respected,
+  only item entities); embedding-tier payloads must additionally reproduce the
+  deterministic fallback ranking, and tier choice must match policy (cold
+  users never get the full search, unconstrained warm misses always do).
+* :class:`StaleConsistencyOracle` — a stale response must replay, verbatim,
+  the most recent non-stale answer served for the same cache key earlier in
+  the trace.
+
+``run_oracles`` wires all three to a service and a record list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..serving.fallback import ServingTier
+from .replay import RequestRecord
+
+
+@dataclass(frozen=True)
+class OracleFinding:
+    """One violated expectation, anchored to a trace index."""
+
+    oracle: str
+    index: int
+    user_entity: int
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"[{self.oracle}] request #{self.index} "
+                f"(user {self.user_entity}): {self.message}")
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle pass over a record list."""
+
+    oracle: str
+    checked: int = 0
+    findings: List[OracleFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def mismatches(self) -> int:
+        return len(self.findings)
+
+    def add(self, record: RequestRecord, message: str) -> None:
+        self.findings.append(OracleFinding(oracle=self.oracle, index=record.index,
+                                           user_entity=record.user_entity,
+                                           message=message))
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{self.mismatches} mismatches"
+        return f"{self.oracle}: checked {self.checked} requests, {status}"
+
+
+class FullSearchOracle:
+    """Exact-match oracle for payloads produced by the full beam search."""
+
+    name = "full_search_oracle"
+
+    def __init__(self, recommender) -> None:
+        self.recommender = recommender
+
+    def check(self, records: Sequence[RequestRecord],
+              sample_size: Optional[int] = None, seed: int = 0) -> OracleReport:
+        """Recompute a (sampled) set of FULL-provenance answers and compare.
+
+        ``sample_size`` bounds the number of re-searches (they cost a full
+        beam search each); ``None`` checks every eligible record.
+        """
+        report = OracleReport(oracle=self.name)
+        eligible = [record for record in records
+                    if record.source_tier is ServingTier.FULL]
+        if sample_size is not None and sample_size < len(eligible):
+            rng = np.random.default_rng(seed)
+            chosen = rng.choice(len(eligible), size=sample_size, replace=False)
+            eligible = [eligible[i] for i in sorted(chosen)]
+        # Records sharing a cache key share one expected answer — memoise so a
+        # Zipf-skewed trace (many cache hits per key) costs one beam search
+        # per distinct key instead of one per record.
+        expected_by_key: dict = {}
+        for record in eligible:
+            report.checked += 1
+            key = record.cache_key()
+            expected_items = expected_by_key.get(key)
+            if expected_items is None:
+                expected = self.recommender.recommend(
+                    record.user_entity, exclude_items=set(record.exclude_items),
+                    top_k=record.top_k)
+                expected_items = tuple(path.item_entity for path in expected)
+                expected_by_key[key] = expected_items
+            if record.items != expected_items:
+                report.add(record, f"served items {list(record.items)} != "
+                                   f"direct search {list(expected_items)}")
+        return report
+
+
+class FallbackValidityOracle:
+    """Universal invariants plus relaxed per-tier checks for degraded answers."""
+
+    name = "fallback_validity_oracle"
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.graph = service.graph
+
+    def check(self, records: Sequence[RequestRecord]) -> OracleReport:
+        report = OracleReport(oracle=self.name)
+        expected_by_key: dict = {}
+        for record in records:
+            report.checked += 1
+            self._check_universal(record, report)
+            if record.source_tier is ServingTier.EMBEDDING:
+                self._check_embedding(record, report, expected_by_key)
+            self._check_tier_policy(record, report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _check_universal(self, record: RequestRecord, report: OracleReport) -> None:
+        items = record.items
+        if len(items) > record.top_k:
+            report.add(record, f"{len(items)} items exceed top_k={record.top_k}")
+        if len(set(items)) != len(items):
+            report.add(record, f"duplicate items in {list(items)}")
+        leaked = set(items) & set(record.exclude_items)
+        if leaked:
+            report.add(record, f"excluded items served: {sorted(leaked)}")
+        non_items = [entity for entity in items
+                     if not self.graph.entities.is_item(entity)]
+        if non_items:
+            report.add(record, f"non-item entities served: {non_items}")
+        for path in record.paths:
+            if path.item_entity != (path.hops[-1][1] if path.hops else None):
+                report.add(record, f"path does not end at its item: {path}")
+            if path.length < self.service.recommender.config.min_path_length:
+                report.add(record, f"path shorter than min_path_length: {path}")
+
+    def _check_embedding(self, record: RequestRecord, report: OracleReport,
+                         expected_by_key: dict) -> None:
+        """Embedding answers are deterministic — recompute (once per key) and compare."""
+        key = record.cache_key()
+        expected = expected_by_key.get(key)
+        if expected is None:
+            expected = tuple(self.service.tiers.fallback_items(record))
+            expected_by_key[key] = expected
+        if record.items != expected:
+            report.add(record, f"embedding items {list(record.items)} != "
+                               f"recomputed ranking {list(expected)}")
+
+    def _check_tier_policy(self, record: RequestRecord, report: OracleReport) -> None:
+        cold = self.service.tiers.is_cold(record.user_entity)
+        if cold and record.source_tier is ServingTier.FULL:
+            report.add(record, "cold user served a full-search payload")
+        if (not cold and not record.cache_hit
+                and record.latency_budget_ms is None
+                and record.tier is not ServingTier.FULL):
+            report.add(record, f"unconstrained warm miss served from "
+                               f"'{record.tier.value}' instead of full search")
+
+
+class StaleConsistencyOracle:
+    """Stale answers must replay an earlier answer for the same cache key."""
+
+    name = "stale_consistency_oracle"
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def check(self, records: Sequence[RequestRecord],
+              strict: bool = False) -> OracleReport:
+        """Compare each stale answer to the last in-window cached answer.
+
+        A cache entry may legitimately predate ``records`` (``warm_up()``, a
+        previous replay against the same service), in which case the oracle
+        has nothing to compare against; such stale answers are counted as
+        checked but only flagged under ``strict=True`` — use strict mode when
+        ``records`` is known to span the service's whole serving history.
+        """
+        report = OracleReport(oracle=self.name)
+        last_cached: dict = {}
+        for record in records:
+            key = record.cache_key()
+            if record.tier is ServingTier.STALE:
+                report.checked += 1
+                earlier = last_cached.get(key)
+                if earlier is None:
+                    if strict:
+                        report.add(record, "stale answer with no earlier "
+                                           "cached result for its cache key")
+                elif record.items != earlier:
+                    report.add(record, f"stale items {list(record.items)} != "
+                                       f"cached answer {list(earlier)}")
+            elif self._updates_cache(record):
+                last_cached[key] = record.items
+        return report
+
+    def _updates_cache(self, record: RequestRecord) -> bool:
+        """Which responses reflect the cache content for their key.
+
+        Full searches and cold-user embedding answers are written to the
+        cache; cache hits echo its current content.  Warm over-budget
+        embedding answers are deliberately *not* cached by the service, so
+        they must not count as the entry a later stale hit will replay.
+        """
+        if record.tier in (ServingTier.FULL, ServingTier.CACHE):
+            return True
+        return (record.tier is ServingTier.EMBEDDING
+                and self.service.tiers.is_cold(record.user_entity))
+
+
+def run_oracles(service, records: Sequence[RequestRecord],
+                full_search_sample: Optional[int] = None,
+                seed: int = 0) -> List[OracleReport]:
+    """Run the full oracle battery against one service's replay records."""
+    return [
+        FullSearchOracle(service.recommender).check(
+            records, sample_size=full_search_sample, seed=seed),
+        FallbackValidityOracle(service).check(records),
+        StaleConsistencyOracle(service).check(records),
+    ]

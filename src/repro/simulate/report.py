@@ -1,0 +1,80 @@
+"""Report layer: turn replay records into a summary dict and a text report.
+
+The latency/QPS/tier aggregation reuses :class:`repro.serving.ServingTelemetry`
+— the records are fed into a fresh telemetry instance whose clock follows the
+trace's arrival times, so the replay report and the live service dashboards
+speak the same schema (``latency_ms.p50/p95/p99``, ``tiers``, hit rates).
+Percentage formatting reuses :func:`repro.eval.metrics.as_percentages`, the
+same helper the paper-table code uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..eval.metrics import as_percentages
+from ..serving.telemetry import ServingTelemetry
+from .oracles import OracleReport
+from .replay import ReplayResult, TraceClock
+
+
+def replay_telemetry(result: ReplayResult) -> ServingTelemetry:
+    """Feed the replay records into a fresh telemetry over trace time."""
+    clock = TraceClock()
+    telemetry = ServingTelemetry(window=max(2, len(result.records)), clock=clock)
+    for record in result.records:
+        clock.advance_to(record.arrival_s)
+        telemetry.record(record.latency_ms, record.tier, cache_hit=record.cache_hit)
+    return telemetry
+
+
+def summarize(result: ReplayResult,
+              oracle_reports: Optional[Sequence[OracleReport]] = None) -> Dict:
+    """One dict with everything a test or a dashboard wants to scrape."""
+    telemetry = replay_telemetry(result)
+    snapshot = telemetry.snapshot()
+    total = max(1, len(result.records))
+    summary = {
+        "requests": len(result.records),
+        "distinct_users": len({record.user_entity for record in result.records}),
+        "trace_duration_s": result.workload.duration_s,
+        "trace_qps": snapshot["qps"],
+        "wall_seconds": result.wall_seconds,
+        "replay_qps": result.replay_qps(),
+        "latency_ms": snapshot["latency_ms"],
+        "cache_hit_rate": result.cache_hit_rate(),
+        "tier_mix": {tier: count / total
+                     for tier, count in sorted(result.tier_counts().items())},
+        "source_tier_mix": {tier: count / total
+                            for tier, count in sorted(result.source_tier_counts().items())},
+    }
+    if oracle_reports is not None:
+        summary["oracles"] = {report.oracle: {"checked": report.checked,
+                                              "mismatches": report.mismatches}
+                              for report in oracle_reports}
+    return summary
+
+
+def render_report(summary: Dict) -> str:
+    """Human-readable report (percentages via the Table-I formatting helper)."""
+    lines: List[str] = ["=== replay report ==="]
+    lines.append(f"requests            {summary['requests']:>8d} "
+                 f"({summary['distinct_users']} distinct users)")
+    lines.append(f"trace duration      {summary['trace_duration_s']:>8.2f}s "
+                 f"({summary['trace_qps']:.0f} QPS offered)")
+    lines.append(f"replay wall time    {summary['wall_seconds']:>8.2f}s "
+                 f"({summary['replay_qps']:.0f} QPS served)")
+    latency = summary["latency_ms"]
+    lines.append(f"latency ms          p50={latency['p50']:.2f}  "
+                 f"p95={latency['p95']:.2f}  p99={latency['p99']:.2f}")
+    lines.append(f"cache hit rate      {100.0 * summary['cache_hit_rate']:>7.1f}%")
+    for title, key in (("tier mix", "tier_mix"), ("source tiers", "source_tier_mix")):
+        shares = as_percentages(summary[key])
+        rendered = "  ".join(f"{tier}={share:.1f}%" for tier, share in shares.items())
+        lines.append(f"{title:<19s} {rendered}")
+    for oracle, outcome in summary.get("oracles", {}).items():
+        status = ("ok" if outcome["mismatches"] == 0
+                  else f"{outcome['mismatches']} MISMATCHES")
+        lines.append(f"oracle              {oracle}: "
+                     f"checked {outcome['checked']}, {status}")
+    return "\n".join(lines)

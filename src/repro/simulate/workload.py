@@ -1,0 +1,315 @@
+"""Deterministic, seeded workload generation for the serving stack.
+
+A :class:`Workload` is a replayable trace of :class:`SimulatedRequest`\\ s with
+explicit arrival times, generated from a :class:`UserPopulation` and a
+:class:`WorkloadConfig`.  The generator plants the regularities real
+recommendation traffic has:
+
+* **Skewed popularity** — request frequency over warm users follows a Zipf
+  law (a seeded permutation assigns ranks), so a few users dominate the trace
+  and the result cache has something to exploit.
+* **Cold-start traffic** — a configurable fraction of requests comes from a
+  cold population (entities without purchase edges), exercising the embedding
+  fallback tier.
+* **Arrival processes** — uniform (evenly spaced), Poisson (exponential
+  inter-arrivals) or bursty (a two-state modulated Poisson process), so the
+  replay driver can form realistic micro-batches.
+* **Request shape variety** — mixed ``top_k`` values, a fraction of requests
+  excluding the user's known purchases, and a fraction carrying a tight
+  latency budget (with or without stale tolerance) to trigger the fallback
+  tiers.
+
+Everything is driven by one ``numpy`` generator seeded from the config, so the
+same config reproduces the identical trace bit for bit — ``signature()``
+hashes the canonical JSON serialisation to make that checkable in one line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kg.entities import EntityType
+from ..kg.graph import KnowledgeGraph
+from ..serving.service import RecommendationRequest
+
+ARRIVAL_PROCESSES = ("uniform", "poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class SimulatedRequest:
+    """One trace entry: a serving request plus its arrival time.
+
+    ``exclude_items`` is a sorted tuple (not a set) so the trace serialises
+    canonically; :meth:`to_request` converts to the serving request type.
+    """
+
+    index: int
+    arrival_s: float
+    user_entity: int
+    top_k: int
+    exclude_items: Tuple[int, ...] = ()
+    latency_budget_ms: Optional[float] = None
+    allow_stale: bool = True
+
+    def to_request(self) -> RecommendationRequest:
+        return RecommendationRequest(
+            user_entity=self.user_entity, top_k=self.top_k,
+            exclude_items=frozenset(self.exclude_items),
+            latency_budget_ms=self.latency_budget_ms,
+            allow_stale=self.allow_stale)
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "arrival_s": self.arrival_s,
+            "user_entity": self.user_entity,
+            "top_k": self.top_k,
+            "exclude_items": list(self.exclude_items),
+            "latency_budget_ms": self.latency_budget_ms,
+            "allow_stale": self.allow_stale,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimulatedRequest":
+        return cls(
+            index=int(payload["index"]),
+            arrival_s=float(payload["arrival_s"]),
+            user_entity=int(payload["user_entity"]),
+            top_k=int(payload["top_k"]),
+            exclude_items=tuple(int(i) for i in payload.get("exclude_items", ())),
+            latency_budget_ms=(None if payload.get("latency_budget_ms") is None
+                               else float(payload["latency_budget_ms"])),
+            allow_stale=bool(payload.get("allow_stale", True)),
+        )
+
+
+@dataclass(frozen=True)
+class UserPopulation:
+    """The audience a workload draws from.
+
+    ``warm_users`` have purchase history in the KG (full-search eligible);
+    ``cold_users`` have none and will be served from the embedding tier.
+    """
+
+    warm_users: Tuple[int, ...]
+    cold_users: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.warm_users and not self.cold_users:
+            raise ValueError("population must contain at least one user")
+
+    @classmethod
+    def from_graph(cls, graph: KnowledgeGraph,
+                   extra_cold_users: Sequence[int] = ()) -> "UserPopulation":
+        """Split the KG's user entities by purchase history.
+
+        ``extra_cold_users`` lets callers add stand-ins for never-seen users
+        (any entity with a representation but no purchase edges qualifies as
+        cold for the tier chooser).
+        """
+        warm: List[int] = []
+        cold: List[int] = []
+        for user in graph.entities.ids_of_type(EntityType.USER):
+            (warm if graph.purchased_items(user) else cold).append(user)
+        return cls(warm_users=tuple(warm),
+                   cold_users=tuple(cold) + tuple(extra_cold_users))
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of the workload generator (deterministic per ``seed``)."""
+
+    num_requests: int = 1000
+    seed: int = 0
+    # arrivals
+    arrival: str = "poisson"           # one of ARRIVAL_PROCESSES
+    mean_qps: float = 200.0
+    burst_factor: float = 10.0         # arrival-rate multiplier inside bursts
+    burst_fraction: float = 0.1        # probability of entering a burst state
+    burst_persistence: float = 0.9     # probability of staying in current state
+    # who asks
+    zipf_exponent: float = 1.1         # popularity skew across warm users (> 1)
+    cold_fraction: float = 0.1         # fraction of requests from cold users
+    # what they ask for
+    top_k_choices: Tuple[int, ...] = (5, 10)
+    exclude_purchased_fraction: float = 0.25
+    tight_budget_fraction: float = 0.15
+    tight_budget_ms: float = 1.0
+    allow_stale_probability: float = 0.5
+
+    def validate(self) -> None:
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(f"arrival must be one of {ARRIVAL_PROCESSES}")
+        if self.mean_qps <= 0:
+            raise ValueError("mean_qps must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be at least 1")
+        if not (0.0 <= self.burst_fraction <= 1.0):
+            raise ValueError("burst_fraction must lie in [0, 1]")
+        if not (0.0 <= self.burst_persistence < 1.0):
+            raise ValueError("burst_persistence must lie in [0, 1)")
+        if self.zipf_exponent <= 0.0:
+            raise ValueError("zipf_exponent must be positive")
+        if not (0.0 <= self.cold_fraction <= 1.0):
+            raise ValueError("cold_fraction must lie in [0, 1]")
+        if not self.top_k_choices or any(k <= 0 for k in self.top_k_choices):
+            raise ValueError("top_k_choices must be non-empty positive ints")
+        for name in ("exclude_purchased_fraction", "tight_budget_fraction",
+                     "allow_stale_probability"):
+            if not (0.0 <= getattr(self, name) <= 1.0):
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.tight_budget_ms < 0:
+            raise ValueError("tight_budget_ms must be non-negative")
+
+
+@dataclass
+class Workload:
+    """A replayable request trace plus the config that generated it."""
+
+    config: WorkloadConfig
+    requests: Tuple[SimulatedRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[SimulatedRequest]:
+        return iter(self.requests)
+
+    @property
+    def duration_s(self) -> float:
+        """Trace-time span from first to last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_s - self.requests[0].arrival_s
+
+    def distinct_users(self) -> int:
+        return len({request.user_entity for request in self.requests})
+
+    # ------------------------------------------------------------------ #
+    # serialisation & identity
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        return {
+            "config": asdict(self.config),
+            "requests": [request.to_dict() for request in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Workload":
+        config_payload = dict(payload["config"])
+        config_payload["top_k_choices"] = tuple(config_payload["top_k_choices"])
+        return cls(
+            config=WorkloadConfig(**config_payload),
+            requests=tuple(SimulatedRequest.from_dict(entry)
+                           for entry in payload["requests"]),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        # repr-roundtripped floats keep the JSON canonical per trace.
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Workload":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "Workload":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def signature(self) -> str:
+        """SHA-256 over the canonical serialisation — trace identity in one line."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# generation
+# --------------------------------------------------------------------------- #
+def _inter_arrivals(config: WorkloadConfig, rng: np.random.Generator) -> np.ndarray:
+    """Per-request inter-arrival gaps (seconds) for the configured process."""
+    n = config.num_requests
+    base_gap = 1.0 / config.mean_qps
+    if config.arrival == "uniform":
+        return np.full(n, base_gap)
+    if config.arrival == "poisson":
+        return rng.exponential(base_gap, size=n)
+    # bursty: a two-state modulated Poisson process.  The state chain persists
+    # with ``burst_persistence`` and re-samples the burst state with
+    # probability ``burst_fraction`` otherwise, so bursts arrive in runs.
+    gaps = np.empty(n)
+    in_burst = False
+    burst_gap = base_gap / config.burst_factor
+    for i in range(n):
+        if rng.random() >= config.burst_persistence:
+            in_burst = rng.random() < config.burst_fraction
+        gaps[i] = rng.exponential(burst_gap if in_burst else base_gap)
+    return gaps
+
+
+def _zipf_weights(count: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_workload(population: UserPopulation, config: WorkloadConfig,
+                      graph: Optional[KnowledgeGraph] = None) -> Workload:
+    """Generate a deterministic trace over ``population`` according to ``config``.
+
+    ``graph`` is only needed when ``exclude_purchased_fraction > 0``: the
+    excluded sets are the user's purchase edges (the standard "don't recommend
+    what I already own" constraint).
+    """
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+
+    warm = np.array(population.warm_users, dtype=np.int64)
+    cold = np.array(population.cold_users, dtype=np.int64)
+    if warm.size:
+        # A seeded permutation assigns Zipf ranks, so which users are popular
+        # is itself part of the seed.
+        warm = warm[rng.permutation(warm.size)]
+        warm_weights = _zipf_weights(warm.size, config.zipf_exponent)
+    cold_fraction = config.cold_fraction if cold.size else 0.0
+    if not warm.size:
+        cold_fraction = 1.0
+
+    arrivals = np.cumsum(_inter_arrivals(config, rng))
+    top_k_choices = np.array(config.top_k_choices, dtype=np.int64)
+
+    requests: List[SimulatedRequest] = []
+    for index in range(config.num_requests):
+        is_cold = rng.random() < cold_fraction
+        if is_cold:
+            user = int(cold[rng.integers(cold.size)])
+        else:
+            user = int(warm[rng.choice(warm.size, p=warm_weights)])
+        top_k = int(top_k_choices[rng.integers(top_k_choices.size)])
+
+        exclude: Tuple[int, ...] = ()
+        if (not is_cold and graph is not None
+                and rng.random() < config.exclude_purchased_fraction):
+            exclude = tuple(sorted(graph.purchased_items(user)))
+
+        budget: Optional[float] = None
+        allow_stale = True
+        if rng.random() < config.tight_budget_fraction:
+            budget = config.tight_budget_ms
+            allow_stale = bool(rng.random() < config.allow_stale_probability)
+
+        requests.append(SimulatedRequest(
+            index=index, arrival_s=float(arrivals[index]), user_entity=user,
+            top_k=top_k, exclude_items=exclude, latency_budget_ms=budget,
+            allow_stale=allow_stale))
+    return Workload(config=config, requests=tuple(requests))

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.darl import InferenceConfig, PathRecommender, PolicyConfig, SharedPolicyNetworks
 from repro.data import SyntheticConfig, generate, split_interactions
 from repro.eval.metrics import all_metrics, hit_ratio_at_k, ndcg_at_k, precision_at_k, recall_at_k
 from repro.kg import EntityStore, EntityType, KnowledgeGraph, Relation, inverse_of
@@ -12,6 +13,12 @@ from repro.nn import Tensor
 from repro.nn import functional as F
 from repro.rl import discounted_returns
 from repro.rl.rewards import collaborative_rewards, guidance_reward
+from repro.serving import (
+    RecommendationRequest,
+    RecommendationService,
+    ResultCache,
+    ServingConfig,
+)
 
 small_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
                          allow_infinity=False)
@@ -108,6 +115,80 @@ class TestRLProperties:
         assert len(rewards["entity"]) == length
         # Terminal rewards land on the final step only.
         assert rewards["entity"][-1] >= 1.0
+
+
+class TestServingProperties:
+    """Seeded randomised loops over the serving data structures.
+
+    These complement the hypothesis suites above: the serving stack's
+    invariants depend on stateful op *sequences* (put/get/expiry interleaving,
+    request orderings), which seeded ``numpy`` loops express more directly
+    than hypothesis strategies.
+    """
+
+    def test_lru_ttl_cache_never_exceeds_capacity(self):
+        """Random op sequences: size stays bounded and expiry is honoured."""
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            clock_now = [0.0]
+            capacity = int(rng.integers(1, 8))
+            ttl = float(rng.uniform(1.0, 10.0))
+            cache = ResultCache(capacity=capacity, ttl_seconds=ttl,
+                                clock=lambda: clock_now[0])
+            written = {}
+            gets = hits = 0
+            for _ in range(400):
+                op = rng.random()
+                key = (int(rng.integers(0, 12)), 10, frozenset())
+                if op < 0.45:
+                    cache.put(key, ("payload", key))
+                    written[key] = clock_now[0] + ttl
+                elif op < 0.8:
+                    value = cache.get(key)
+                    gets += 1
+                    hits += value is not None
+                    if value is not None:
+                        # A fresh hit must be unexpired and the value intact.
+                        assert written[key] > clock_now[0]
+                        assert value == ("payload", key)
+                elif op < 0.9:
+                    cache.invalidate(key)
+                    written.pop(key, None)
+                else:
+                    clock_now[0] += float(rng.uniform(0.0, ttl))
+                assert len(cache) <= capacity
+            assert cache.stats.hits == hits
+            assert cache.stats.misses == gets - hits
+
+    def test_microbatch_dedup_matches_sequential_for_any_ordering(
+            self, tiny_kg, tiny_representations):
+        """serve_many == one-by-one serving, for random duplicate-heavy orders."""
+        graph, category_graph, _ = tiny_kg
+        policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                                   mlp_hidden=16, seed=0))
+
+        def make_service():
+            recommender = PathRecommender(
+                graph, category_graph, tiny_representations, policy,
+                max_path_length=4, max_entity_actions=8, max_category_actions=4,
+                config=InferenceConfig(beam_width=6, expansions_per_beam=2))
+            return RecommendationService(graph, category_graph,
+                                         tiny_representations, policy,
+                                         recommender=recommender,
+                                         config=ServingConfig(cache_ttl_seconds=600.0))
+
+        users = graph.entities.ids_of_type(EntityType.USER)[:8]
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            chosen = rng.choice(users, size=20, replace=True)     # duplicates likely
+            requests = [RecommendationRequest(user_entity=int(user), top_k=4)
+                        for user in chosen]
+            batched = make_service().serve_many(requests)
+            sequential_service = make_service()
+            sequential = [sequential_service.serve(request) for request in requests]
+            for batch_response, solo_response in zip(batched, sequential):
+                assert batch_response.items == solo_response.items
+                assert batch_response.source_tier == solo_response.source_tier
 
 
 class TestKGProperties:

@@ -217,6 +217,91 @@ class TestReinforce:
             ReinforceConfig(baseline_momentum=1.0).validate()
 
 
+class TestDeterminism:
+    """Same seed ⇒ identical trajectories, for the environments and training."""
+
+    def _walk(self, entity_env, user, walker_seed=99, steps=6):
+        """A seeded random walk recording (pruned actions, chosen hop) pairs."""
+        walker = np.random.default_rng(walker_seed)
+        state = entity_env.initial_state(user)
+        trajectory = []
+        for _ in range(steps):
+            actions = entity_env.actions(state)
+            assert actions
+            chosen = actions[int(walker.integers(len(actions)))]
+            trajectory.append((tuple(actions), chosen))
+            state = entity_env.step(state, chosen)
+        return trajectory
+
+    def test_entity_environment_rollouts_identical_per_seed(self, tiny_kg,
+                                                            tiny_representations):
+        graph, _, builder = tiny_kg
+        user = builder.user_to_entity(0)
+        runs = []
+        for _ in range(2):
+            env = EntityEnvironment(graph, tiny_representations, max_actions=6,
+                                    rng=np.random.default_rng(123))
+            runs.append(self._walk(env, user))
+        assert runs[0] == runs[1]
+
+    def test_entity_environment_differs_across_seeds(self, tiny_kg,
+                                                     tiny_representations):
+        """Sanity check that the seed actually feeds the degree pruning."""
+        graph, _, builder = tiny_kg
+        user = builder.user_to_entity(0)
+        walks = []
+        for seed in (1, 2, 3, 4):
+            env = EntityEnvironment(graph, tiny_representations, max_actions=3,
+                                    rng=np.random.default_rng(seed))
+            walks.append(self._walk(env, user))
+        assert len({repr(walk) for walk in walks}) > 1
+
+    def test_category_environment_is_seed_free_deterministic(self, environments):
+        _, category_env, builder = environments
+        user = builder.user_to_entity(1)
+        start = category_env.start_category_for(user)
+        state = category_env.initial_state(user, start)
+        assert category_env.actions(state) == category_env.actions(state)
+
+    def test_rewards_are_pure_functions(self, rng):
+        conditional = rng.dirichlet(np.ones(4))
+        counterfactuals = [rng.dirichlet(np.ones(4)) for _ in range(3)]
+        assert guidance_reward(conditional, counterfactuals) == guidance_reward(
+            conditional, counterfactuals)
+        first = collaborative_rewards(1.0, 0.0, [0.5, 0.2], [0.1, 0.9], 0.4, 0.5)
+        second = collaborative_rewards(1.0, 0.0, [0.5, 0.2], [0.1, 0.9], 0.4, 0.5)
+        assert first == second
+
+    def test_darl_training_identical_per_seed(self, tiny_kg, tiny_representations):
+        """Two full training runs with one seed: identical stats & trajectories."""
+        from repro.darl import DARLConfig, DARLTrainer
+
+        graph, category_graph, builder = tiny_kg
+        user_items = {}
+        for user_id in range(4):
+            user_entity = builder.user_to_entity(user_id)
+            items = graph.purchased_items(user_entity)
+            if items:
+                user_items[user_entity] = items
+
+        def run():
+            config = DARLConfig(max_path_length=3, epochs=1, hidden_size=8,
+                                mlp_hidden=16, max_entity_actions=6,
+                                max_category_actions=4, seed=5)
+            trainer = DARLTrainer(graph, category_graph, tiny_representations, config)
+            history = trainer.train(user_items)
+            probe_user = next(iter(user_items))
+            episode, _ = trainer._run_training_episode(probe_user,
+                                                       set(user_items[probe_user]))
+            return history, episode.entity_path(), episode.category_path()
+
+        first_history, first_entity, first_category = run()
+        second_history, second_entity, second_category = run()
+        assert first_history == second_history
+        assert first_entity == second_entity
+        assert first_category == second_category
+
+
 class TestTrajectories:
     def test_episode_result_accessors(self):
         episode = EpisodeResult(user_id=1, start_entity=1)

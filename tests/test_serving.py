@@ -312,6 +312,124 @@ class TestService:
             ServingConfig(default_top_k=0).validate()
 
 
+class TestResponseProvenance:
+    """``source_tier`` reports which tier computed the payload (satellite fix)."""
+
+    def test_full_search_provenance_survives_the_cache(self, serving_stack):
+        service, _, users, _ = serving_stack
+        service.cache.clear()
+        request = RecommendationRequest(user_entity=users[5], top_k=4)
+        first = service.serve(request)
+        second = service.serve(request)
+        assert (first.tier, first.source_tier) == (ServingTier.FULL, ServingTier.FULL)
+        assert (second.tier, second.source_tier) == (ServingTier.CACHE, ServingTier.FULL)
+
+    def test_cold_embedding_provenance_survives_the_cache(self, serving_stack):
+        service, _, _, graph = serving_stack
+        cold = graph.entities.ids_of_type(EntityType.FEATURE)[2]
+        first = service.serve(RecommendationRequest(user_entity=cold, top_k=4))
+        second = service.serve(RecommendationRequest(user_entity=cold, top_k=4))
+        assert first.source_tier is ServingTier.EMBEDDING
+        assert second.tier is ServingTier.CACHE
+        assert second.source_tier is ServingTier.EMBEDDING
+
+    def test_stale_provenance_reports_the_original_tier(self, tiny_kg,
+                                                        tiny_representations):
+        graph, category_graph, builder = tiny_kg
+        clock = FakeClock()
+        policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                                   mlp_hidden=16, seed=0))
+        service = RecommendationService(graph, category_graph, tiny_representations,
+                                        policy, config=ServingConfig(cache_ttl_seconds=5.0),
+                                        clock=clock)
+        user = builder.user_to_entity(1)
+        service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        clock.advance(6.0)
+        stale = service.serve(RecommendationRequest(user_entity=user, top_k=4,
+                                                    latency_budget_ms=1e-6))
+        assert stale.tier is ServingTier.STALE
+        assert stale.source_tier is ServingTier.FULL
+        assert not stale.cache_hit
+
+
+class TestFallbackEdgeCases:
+    """Tier-chain behaviour beyond the happy path."""
+
+    def test_zero_latency_budget_degrades_instead_of_failing(self, serving_stack):
+        service, _, users, _ = serving_stack
+        service.cache.clear()
+        response = service.serve(RecommendationRequest(user_entity=users[2], top_k=3,
+                                                       latency_budget_ms=0.0))
+        assert response.tier is ServingTier.EMBEDDING
+        assert len(response.items) == 3
+
+    def test_all_tiers_exhausted_returns_empty_not_error(self, serving_stack):
+        """Everything excluded: full search and embedding both come up empty."""
+        service, _, users, graph = serving_stack
+        service.cache.clear()
+        all_items = frozenset(graph.entities.ids_of_type(EntityType.ITEM))
+        full = service.serve(RecommendationRequest(user_entity=users[0], top_k=3,
+                                                   exclude_items=all_items))
+        assert full.tier is ServingTier.FULL
+        assert full.items == []
+        cold = graph.entities.ids_of_type(EntityType.FEATURE)[3]
+        degraded = service.serve(RecommendationRequest(user_entity=cold, top_k=3,
+                                                       exclude_items=all_items))
+        assert degraded.tier is ServingTier.EMBEDDING
+        assert degraded.items == []
+        over_budget = service.serve(RecommendationRequest(user_entity=users[1], top_k=3,
+                                                          exclude_items=all_items,
+                                                          latency_budget_ms=0.0,
+                                                          allow_stale=True))
+        assert over_budget.tier is ServingTier.EMBEDDING
+        assert over_budget.items == []
+
+    def test_expired_entry_stays_stale_until_evicted(self, tiny_kg,
+                                                     tiny_representations):
+        graph, category_graph, builder = tiny_kg
+        clock = FakeClock()
+        policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                                   mlp_hidden=16, seed=0))
+        service = RecommendationService(graph, category_graph, tiny_representations,
+                                        policy,
+                                        config=ServingConfig(cache_ttl_seconds=5.0),
+                                        clock=clock)
+        user = builder.user_to_entity(2)
+        fresh = service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        clock.advance(60.0)                   # far beyond the TTL, still resident
+        key = RecommendationRequest(user_entity=user, top_k=4).cache_key()
+        assert not service.cache.has(key)
+        assert service.cache.has_stale(key)
+        stale = service.serve(RecommendationRequest(user_entity=user, top_k=4,
+                                                    latency_budget_ms=1e-6))
+        assert stale.tier is ServingTier.STALE
+        assert stale.items == fresh.items
+        # Once invalidated, the expired entry is gone and the same request
+        # must fall through to the embedding tier instead.
+        service.invalidate_user(user)
+        refused = service.serve(RecommendationRequest(user_entity=user, top_k=4,
+                                                      latency_budget_ms=1e-6))
+        assert refused.tier is ServingTier.EMBEDDING
+
+    def test_expired_entry_is_refreshed_by_a_generous_request(self, tiny_kg,
+                                                              tiny_representations):
+        graph, category_graph, builder = tiny_kg
+        clock = FakeClock()
+        policy = SharedPolicyNetworks(PolicyConfig(embedding_dim=16, hidden_size=8,
+                                                   mlp_hidden=16, seed=0))
+        service = RecommendationService(graph, category_graph, tiny_representations,
+                                        policy,
+                                        config=ServingConfig(cache_ttl_seconds=5.0),
+                                        clock=clock)
+        user = builder.user_to_entity(3)
+        service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        clock.advance(6.0)
+        refreshed = service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        assert refreshed.tier is ServingTier.FULL     # expired entry is a miss
+        hit = service.serve(RecommendationRequest(user_entity=user, top_k=4))
+        assert hit.tier is ServingTier.CACHE          # and the refresh re-cached
+
+
 class TestFallbackRanker:
     def test_representation_ranker_returns_items_best_first(self, serving_stack):
         service, recommender, users, graph = serving_stack
