@@ -11,6 +11,10 @@ Public API highlights
 * :mod:`repro.baselines` — the comparison methods from Table I/III.
 * :mod:`repro.eval` — ranking metrics, timing and explanation tooling.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.pipeline` — the unified stage-based pipeline: a typed,
+  JSON-round-trippable :class:`~repro.pipeline.RunConfig`, dependency-ordered
+  stages with fingerprint caching, and on-disk artifact persistence
+  (``save_pipeline`` / ``load_pipeline``) behind the ``python -m repro`` CLI.
 * :mod:`repro.serving` — the online serving subsystem: a
   :class:`~repro.serving.RecommendationService` facade over the trained
   artifacts with result caching, micro-batched inference, tiered fallbacks
@@ -18,8 +22,43 @@ Public API highlights
 * :mod:`repro.simulate` — deterministic traffic simulation: seeded workload
   traces (Zipf popularity, cold-start, bursty arrivals), an open/closed-loop
   replay driver and correctness oracles over the serving stack.
+
+Subpackages are imported lazily: ``import repro; repro.serving`` works without
+eagerly paying for the heavier training imports.
 """
+
+import importlib
 
 __version__ = "0.1.0"
 
-__all__ = ["__version__"]
+#: Subpackages exposed as lazy attributes of :mod:`repro`.
+_SUBPACKAGES = (
+    "baselines",
+    "cggnn",
+    "darl",
+    "data",
+    "embeddings",
+    "eval",
+    "experiments",
+    "kg",
+    "nn",
+    "pipeline",
+    "rl",
+    "serving",
+    "simulate",
+)
+
+__all__ = ["__version__", *_SUBPACKAGES]
+
+
+def __getattr__(name: str):
+    """Import subpackages on first attribute access (PEP 562)."""
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module  # cache: later accesses skip __getattr__
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

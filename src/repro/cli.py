@@ -1,0 +1,293 @@
+"""The single command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute the full pipeline (data → kg → embed → cggnn → train → eval →
+    serve-check) for a profile or a JSON :class:`~repro.pipeline.RunConfig`,
+    persisting every stage into ``--out``.  Re-running with the same
+    configuration skips completed stages via their fingerprints.
+``train``
+    Like ``run`` but stops after the ``train`` stage (no eval/serve-check).
+``eval``
+    Evaluate a persisted (or freshly trained) stack under the paper's
+    ranking protocol and print the metrics.
+``serve-demo``
+    Boot a :class:`repro.serving.RecommendationService` — from ``--artifacts``
+    when given, training otherwise — and push warm-up + burst traffic through
+    it, printing the telemetry snapshot.
+``simulate``
+    Replay a seeded synthetic workload (``repro.simulate``) against the
+    serving stack and verify the answers with the correctness oracles.
+``experiments``
+    Run the paper's tables/figures (replaces the old ad-hoc
+    ``repro.experiments.runner`` argparse).
+
+Examples
+--------
+::
+
+    python -m repro run --profile smoke --out artifacts/smoke
+    python -m repro eval --artifacts artifacts/smoke
+    python -m repro serve-demo --artifacts artifacts/smoke
+    python -m repro simulate --artifacts artifacts/smoke --requests 500
+    python -m repro experiments --profile smoke --only table1 fig5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .pipeline import Pipeline, PipelineError, PipelineResult, RunConfig, load_pipeline
+
+
+# --------------------------------------------------------------------------- #
+# shared plumbing
+# --------------------------------------------------------------------------- #
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", default="smoke", choices=("smoke", "paper"),
+                        help="canonical configuration preset (default: smoke)")
+    parser.add_argument("--dataset", default="beauty",
+                        help="dataset preset name (default: beauty)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for model and split (default: 0)")
+    parser.add_argument("--config", type=Path, default=None, metavar="FILE",
+                        help="JSON RunConfig file; overrides --profile/--dataset/--seed")
+
+
+def _resolve_config(arguments: argparse.Namespace) -> RunConfig:
+    if arguments.config is not None:
+        return RunConfig.load(arguments.config)
+    return RunConfig.from_profile(arguments.profile, dataset=arguments.dataset,
+                                  seed=arguments.seed)
+
+
+def _run_pipeline(arguments: argparse.Namespace,
+                  until: Optional[Sequence[str]] = None) -> PipelineResult:
+    config = _resolve_config(arguments)
+    out = getattr(arguments, "out", None)
+    force = getattr(arguments, "force", False)
+    pipeline = Pipeline(config, store=out, force=force)
+    start = time.perf_counter()
+    result = pipeline.run(until=until)
+    elapsed = time.perf_counter() - start
+    print(f"pipeline finished in {elapsed:.1f}s"
+          + (f" (artifacts: {result.artifacts_dir})" if result.artifacts_dir else ""))
+    print(result.summary())
+    return result
+
+
+def _result_for_serving(arguments: argparse.Namespace) -> PipelineResult:
+    """A trained stack: loaded from ``--artifacts`` if given, else trained."""
+    artifacts = getattr(arguments, "artifacts", None)
+    if artifacts is not None:
+        result = load_pipeline(artifacts, until=("train",))
+        print(f"loaded trained stack from {artifacts}")
+        return result
+    return _run_pipeline(arguments, until=("train",))
+
+
+def _print_metrics(metrics: dict) -> None:
+    print(json.dumps(metrics, indent=2, sort_keys=True, default=str))
+
+
+# --------------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------------- #
+def _command_run(arguments: argparse.Namespace) -> int:
+    until = tuple(arguments.stages) if arguments.stages else None
+    result = _run_pipeline(arguments, until=until)
+    if result.eval_metrics is not None:
+        print("\neval metrics (%):")
+        _print_metrics(result.eval_metrics["metrics"])
+    if result.serve_report is not None:
+        status = "ok" if result.serve_report["ok"] else "FAILED"
+        print(f"serve-check: {status} "
+              f"({result.serve_report['checked_users']} users)")
+    return 0
+
+
+def _command_train(arguments: argparse.Namespace) -> int:
+    _run_pipeline(arguments, until=("train",))
+    return 0
+
+
+def _command_eval(arguments: argparse.Namespace) -> int:
+    if arguments.artifacts is not None:
+        # Restore the stack from disk and compute eval only if its artifact is
+        # missing.  The train stage must already be complete — an eval command
+        # must never silently retrain — and the single Pipeline.run below
+        # loads each cached stage exactly once.
+        from .pipeline import ArtifactStore
+
+        store = ArtifactStore(arguments.artifacts)
+        if not store.config_path.exists():
+            raise PipelineError(f"{store.root} has no config.json; "
+                                "not a pipeline artifact directory")
+        config = RunConfig.load(store.config_path)
+        if not store.is_complete("train", config.stage_fingerprints()["train"]):
+            raise PipelineError(f"{store.root} does not hold a complete trained "
+                                "stack for its config.json; run "
+                                "`python -m repro train` first")
+        result = Pipeline(config, store=store).run(until=("eval",))
+    else:
+        result = _run_pipeline(arguments, until=("eval",))
+    print("\neval metrics (%):")
+    _print_metrics(result.eval_metrics["metrics"])
+    print(f"evaluated users: {result.eval_metrics['num_users']}")
+    return 0
+
+
+def _command_serve_demo(arguments: argparse.Namespace) -> int:
+    result = _result_for_serving(arguments)
+    service = result.service()
+    builder = result.context.builder
+    audience = [builder.user_to_entity(user)
+                for user in range(min(arguments.users, result.dataset.num_users))]
+
+    start = time.perf_counter()
+    service.warm_up(audience, top_k=arguments.top_k)
+    print(f"warm-up of {len(audience)} users: {time.perf_counter() - start:.2f}s")
+
+    burst = service.build_requests(audience * 3, top_k=arguments.top_k)
+    start = time.perf_counter()
+    responses = service.serve_many(burst)
+    elapsed = time.perf_counter() - start
+    hits = sum(response.cache_hit for response in responses)
+    print(f"burst of {len(burst)} requests: {elapsed * 1000:.1f}ms "
+          f"({hits} cache hits, {len(burst) / max(elapsed, 1e-9):.0f} QPS)")
+
+    print("\ntelemetry snapshot:")
+    _print_metrics(service.telemetry_snapshot())
+    return 0
+
+
+def _command_simulate(arguments: argparse.Namespace) -> int:
+    from .simulate import (
+        ReplayDriver,
+        UserPopulation,
+        WorkloadConfig,
+        generate_workload,
+        render_report,
+        run_oracles,
+        summarize,
+    )
+
+    result = _result_for_serving(arguments)
+    service = result.service()
+    population = UserPopulation.from_graph(service.graph)
+    workload_config = WorkloadConfig(num_requests=arguments.requests,
+                                     seed=arguments.workload_seed,
+                                     arrival=arguments.arrival)
+    workload = generate_workload(population, workload_config, service.graph)
+    print(f"workload: {len(workload)} requests over {workload.duration_s:.2f}s "
+          f"of trace time (signature {workload.signature()[:16]}…)")
+
+    replay = ReplayDriver(service).replay(workload)
+    reports = run_oracles(service, replay.records,
+                          full_search_sample=arguments.oracle_sample, seed=0)
+    print()
+    print(render_report(summarize(replay, reports)))
+    failed = [report for report in reports if not report.ok]
+    for report in failed:
+        print(f"ORACLE FAILED: {report.summary()}")
+    return 1 if failed else 0
+
+
+def _command_experiments(arguments: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
+
+    selected = arguments.only or list(EXPERIMENTS)
+    for key in selected:
+        if key not in EXPERIMENTS:
+            raise SystemExit(f"unknown experiment {key!r}; "
+                             f"choose from {sorted(EXPERIMENTS)}")
+    for key in selected:
+        module = EXPERIMENTS[key]
+        print(f"\n===== {key} =====")
+        start = time.perf_counter()
+        result = module.run(profile=arguments.profile)
+        print(module.report(result))
+        print(f"[{key} finished in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified CLI over the CADRL reproduction: pipeline runs, "
+                    "artifact persistence, serving and simulation.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run the full pipeline (train + eval + serve-check)")
+    _add_config_arguments(run)
+    run.add_argument("--out", type=Path, default=None, metavar="DIR",
+                     help="artifact directory (enables fingerprint caching)")
+    run.add_argument("--force", action="store_true",
+                     help="recompute every stage even when cached")
+    run.add_argument("--stages", nargs="*", default=None,
+                     help="target stages (dependencies are pulled in automatically)")
+    run.set_defaults(handler=_command_run)
+
+    train = commands.add_parser("train", help="run the pipeline up to the train stage")
+    _add_config_arguments(train)
+    train.add_argument("--out", type=Path, default=None, metavar="DIR")
+    train.add_argument("--force", action="store_true")
+    train.set_defaults(handler=_command_train)
+
+    evaluate = commands.add_parser("eval", help="ranking metrics of a trained stack")
+    _add_config_arguments(evaluate)
+    evaluate.add_argument("--artifacts", type=Path, default=None, metavar="DIR",
+                          help="persisted pipeline directory to evaluate")
+    evaluate.set_defaults(handler=_command_eval)
+
+    serve = commands.add_parser("serve-demo",
+                                help="boot the serving facade and push demo traffic")
+    _add_config_arguments(serve)
+    serve.add_argument("--artifacts", type=Path, default=None, metavar="DIR",
+                       help="boot from a persisted pipeline instead of training")
+    serve.add_argument("--users", type=int, default=20,
+                       help="audience size for warm-up/burst traffic (default: 20)")
+    serve.add_argument("--top-k", type=int, default=5, dest="top_k")
+    serve.set_defaults(handler=_command_serve_demo)
+
+    simulate = commands.add_parser("simulate",
+                                   help="replay a seeded workload with correctness oracles")
+    _add_config_arguments(simulate)
+    simulate.add_argument("--artifacts", type=Path, default=None, metavar="DIR")
+    simulate.add_argument("--requests", type=int, default=500)
+    simulate.add_argument("--workload-seed", type=int, default=7, dest="workload_seed")
+    simulate.add_argument("--arrival", default="bursty",
+                          choices=("uniform", "poisson", "bursty"))
+    simulate.add_argument("--oracle-sample", type=int, default=50, dest="oracle_sample")
+    simulate.set_defaults(handler=_command_simulate)
+
+    experiments = commands.add_parser("experiments",
+                                      help="run the paper's tables and figures")
+    experiments.add_argument("--profile", default="smoke", choices=("smoke", "paper"))
+    experiments.add_argument("--only", nargs="*", default=None,
+                             help="subset of experiment keys (e.g. table1 fig5)")
+    experiments.set_defaults(handler=_command_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except PipelineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

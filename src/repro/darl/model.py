@@ -21,6 +21,7 @@ from ..kg import build_knowledge_graph
 from ..rl.trajectory import RecommendationPath
 from .collaborative import GuidanceModel
 from .inference import InferenceConfig, PathRecommender
+from .shared_policy import SharedPolicyNetworks
 from .trainer import DARLConfig, DARLTrainer, EpochStats
 
 
@@ -114,8 +115,13 @@ class CADRL:
         self.training_history = self.trainer.train(user_items)
         self._train_items = {user: set(items) for user, items in user_items.items()}
 
-        self.recommender = PathRecommender(
-            self.graph, self.category_graph, self.representations, self.trainer.policy,
+        self.recommender = self._build_recommender(self.trainer.policy)
+        return self
+
+    def _build_recommender(self, policy: SharedPolicyNetworks) -> PathRecommender:
+        """A fresh beam-search recommender over ``policy`` (no shared caches)."""
+        return PathRecommender(
+            self.graph, self.category_graph, self.representations, policy,
             guidance=GuidanceModel(strength=self.config.darl.guidance_strength),
             max_path_length=self.config.darl.max_path_length,
             max_entity_actions=self.config.darl.max_entity_actions,
@@ -123,7 +129,53 @@ class CADRL:
             use_dual_agent=self.config.darl.use_dual_agent,
             config=self.config.inference,
         )
-        return self
+
+    @classmethod
+    def from_components(cls, config: CADRLConfig, dataset: InteractionDataset,
+                        split: TrainTestSplit, graph, category_graph, builder,
+                        representations: Representations,
+                        policy: SharedPolicyNetworks,
+                        training_history: Optional[List[EpochStats]] = None
+                        ) -> "CADRL":
+        """Assemble a ready-to-recommend facade from pre-trained components.
+
+        This is the restore path of :mod:`repro.pipeline`: the components come
+        from an artifact directory (or another process) instead of a live
+        :meth:`fit` call, so ``trainer`` stays ``None`` — everything else
+        behaves exactly like a fitted model, including a fresh
+        :class:`PathRecommender` with cold caches.
+        """
+        model = cls(config)
+        model.dataset = dataset
+        model.graph = graph
+        model.category_graph = category_graph
+        model.builder = builder
+        model.representations = representations
+        model.training_history = list(training_history or [])
+        user_items = model._entity_level_train_items(split)
+        model._train_items = {user: set(items) for user, items in user_items.items()}
+        model.recommender = model._build_recommender(policy)
+        return model
+
+    def reset_recommender(self) -> None:
+        """Replace the recommender with a fresh one (all inference caches cold).
+
+        Timing studies that receive a shared stack (e.g. via
+        ``experiments.common.trained_cadrl``) call this so their cold-path
+        measurements do not benefit from milestone/action caches warmed by
+        earlier consumers.
+        """
+        self._require_fitted()
+        self.recommender = self._build_recommender(self.recommender.policy)
+
+    @property
+    def policy(self) -> Optional[SharedPolicyNetworks]:
+        """The trained shared policy (from the live trainer or the restore path)."""
+        if self.recommender is not None:
+            return self.recommender.policy
+        if self.trainer is not None:
+            return self.trainer.policy
+        return None
 
     def _entity_level_train_items(self, split: TrainTestSplit) -> Dict[int, List[int]]:
         items_by_user = train_user_items(split)

@@ -62,6 +62,34 @@ class TransEModel:
                                                    keepdims=True) + 1e-12
         self._normalize_entities()
 
+    @classmethod
+    def from_arrays(cls, entity_embeddings: np.ndarray,
+                    relation_embeddings: np.ndarray,
+                    config: Optional[TransEConfig] = None) -> "TransEModel":
+        """Rebuild a model from persisted embedding tables.
+
+        Skips the random initialisation of ``__init__`` entirely (the tables
+        are about to be replaced anyway) — this is the artifact-restore path,
+        which sits on the serving cold-start critical path.
+        """
+        entity_embeddings = np.asarray(entity_embeddings, dtype=np.float64)
+        relation_embeddings = np.asarray(relation_embeddings, dtype=np.float64)
+        config = config or TransEConfig()
+        config.validate()
+        expected = (len(all_relations()), config.embedding_dim)
+        if relation_embeddings.shape != expected:
+            raise ValueError(f"relation table shape {relation_embeddings.shape} "
+                             f"does not match the configuration ({expected})")
+        if entity_embeddings.ndim != 2 or entity_embeddings.shape[1] != config.embedding_dim:
+            raise ValueError(f"entity table shape {entity_embeddings.shape} does not "
+                             f"match embedding_dim={config.embedding_dim}")
+        model = cls.__new__(cls)
+        model.config = config
+        model.num_entities = entity_embeddings.shape[0]
+        model.entity_embeddings = entity_embeddings
+        model.relation_embeddings = relation_embeddings
+        return model
+
     # ------------------------------------------------------------------ #
     def _normalize_entities(self) -> None:
         if self.config.normalize_entities:

@@ -16,7 +16,15 @@ from . import (
     table3_efficiency,
     table4_ablation,
 )
-from .common import ExperimentSetting, cadrl_config, format_table, prepare_dataset
+from .common import (
+    ExperimentSetting,
+    cadrl_config,
+    experiment_run_config,
+    format_table,
+    prepare_dataset,
+    trained_cadrl,
+    trained_stack,
+)
 
 EXPERIMENTS = {
     "table1": table1_accuracy,
@@ -34,6 +42,9 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentSetting",
     "cadrl_config",
+    "experiment_run_config",
+    "trained_cadrl",
+    "trained_stack",
     "fig3_cggnn_modules",
     "fig4_darl_modules",
     "fig5_path_length",

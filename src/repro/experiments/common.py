@@ -5,6 +5,13 @@ split, a "fast" CADRL configuration sized for the synthetic presets, and a
 uniform way to print result tables.  The ``profile`` argument scales the
 experiments: ``"smoke"`` is sized for CI/benchmarks (seconds), ``"paper"``
 uses the full presets (minutes).
+
+Experiments that need the *standard* trained CADRL stack go through
+:func:`trained_cadrl`, which builds on :mod:`repro.pipeline`: identical
+(dataset, configuration) pairs are memoised per process by their pipeline
+fingerprint, so running several tables/figures in one ``python -m repro
+experiments`` invocation trains each stack exactly once instead of once per
+experiment.
 """
 
 from __future__ import annotations
@@ -12,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..darl import CADRLConfig
+from ..darl import CADRL, CADRLConfig
 from ..data import load_dataset, split_interactions
 from ..data.schema import TrainTestSplit
 from ..data.synthetic import SyntheticDataset
@@ -40,10 +47,16 @@ class ExperimentSetting:
                    max_eval_users=None)
 
 
-def prepare_dataset(name: str, setting: ExperimentSetting, seed: int = 0
+def prepare_dataset(name: str, setting: ExperimentSetting, seed: int = 0,
+                    dataset_seed: Optional[int] = None
                     ) -> Tuple[SyntheticDataset, TrainTestSplit]:
-    """Generate a preset dataset at the profile's scale and split it 70/30."""
-    dataset = load_dataset(name, scale=setting.dataset_scale)
+    """Generate a preset dataset at the profile's scale and split it 70/30.
+
+    ``seed`` controls the split; ``dataset_seed`` (optional) threads through
+    to :func:`repro.data.load_dataset` for alternate deterministic dataset
+    draws.
+    """
+    dataset = load_dataset(name, scale=setting.dataset_scale, seed=dataset_seed)
     split = split_interactions(dataset, seed=seed)
     return dataset, split
 
@@ -59,6 +72,76 @@ def cadrl_config(setting: ExperimentSetting, seed: int = 0, **overrides) -> CADR
             target = getattr(target, part)
         setattr(target, parts[-1], value)
     return config
+
+
+def experiment_run_config(name: str, setting: ExperimentSetting, seed: int = 0,
+                          **overrides):
+    """The :class:`repro.pipeline.RunConfig` equivalent of the classic recipe
+    (``prepare_dataset`` + ``cadrl_config``) for one experiment stack."""
+    from ..pipeline import DataConfig, EvalConfig, RunConfig
+
+    return RunConfig(
+        data=DataConfig(dataset=name, scale=setting.dataset_scale, split_seed=seed),
+        model=cadrl_config(setting, seed=seed, **overrides),
+        eval=EvalConfig(max_eval_users=setting.max_eval_users),
+    )
+
+
+#: Process-level cache of trained stacks.  The key covers everything the
+#: returned result depends on: the chained ``train`` fingerprint (data + all
+#: training stages) plus the inference configuration the recommender is
+#: assembled with.  Only un-overridden (standard) stacks are inserted, so the
+#: cache stays bounded at one entry per (dataset, profile, seed) even when
+#: sweeps like fig5 request many override variants.
+_STACK_CACHE: Dict[str, object] = {}
+
+
+def _stack_cache_key(config) -> str:
+    import json
+
+    from ..pipeline import config_to_dict
+
+    return json.dumps([config.stage_fingerprints()["train"],
+                       config_to_dict(config.model.inference)], sort_keys=True)
+
+
+def trained_stack(name: str, setting: ExperimentSetting, seed: int = 0,
+                  store=None, **overrides):
+    """A :class:`repro.pipeline.PipelineResult` with the standard CADRL stack.
+
+    Identical requests within one process hit the in-memory cache instead of
+    re-training; pass ``store`` (a directory) to additionally persist/reuse
+    the artifacts across processes.
+    """
+    from ..pipeline import Pipeline
+
+    config = experiment_run_config(name, setting, seed=seed, **overrides)
+    key = _stack_cache_key(config)
+    cached = _STACK_CACHE.get(key)
+    if cached is not None and store is None:
+        return cached
+    result = Pipeline(config, store=store).run(until=("train",))
+    # Overridden variants (e.g. fig5's per-length sweeps) are one-shot: keep
+    # them out of the cache so it cannot grow one full stack per variant.
+    if not overrides:
+        _STACK_CACHE[key] = result
+    return result
+
+
+def trained_cadrl(name: str, setting: ExperimentSetting, seed: int = 0,
+                  **overrides) -> Tuple[SyntheticDataset, TrainTestSplit, CADRL]:
+    """Dataset, split and the fitted standard CADRL model for one experiment.
+
+    Drop-in replacement for ``CADRL(cadrl_config(...)).fit(*prepare_dataset(...))``
+    that de-duplicates training across experiments via :func:`trained_stack`.
+    """
+    result = trained_stack(name, setting, seed=seed, **overrides)
+    return result.dataset, result.split, result.cadrl
+
+
+def clear_stack_cache() -> None:
+    """Drop the process-level trained-stack cache (tests, memory pressure)."""
+    _STACK_CACHE.clear()
 
 
 def eval_users(split: TrainTestSplit, setting: ExperimentSetting) -> Optional[List[int]]:

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..baselines import SingleAgentConfig, build_baseline
-from ..darl import CADRL
 from ..data.splits import test_user_items
 from ..eval.explanations import (
     categories_along_path,
@@ -21,7 +20,7 @@ from ..eval.explanations import (
     fraction_beyond_three_hops,
     render_path,
 )
-from .common import ExperimentSetting, cadrl_config, format_table, prepare_dataset
+from .common import ExperimentSetting, format_table, prepare_dataset, trained_cadrl
 
 
 @dataclass
@@ -52,7 +51,9 @@ def run(profile: str = "smoke", dataset_name: str = "beauty", num_users: int = 3
 
     result = Fig7Result()
 
-    cadrl = CADRL(cadrl_config(setting, seed=seed)).fit(dataset, split)
+    # Pipeline-backed: shares the trained stack with table1/table3 runs in
+    # the same process (common.trained_cadrl).
+    _, _, cadrl = trained_cadrl(dataset_name, setting, seed=seed)
     pgpr = build_baseline("PGPR", config=SingleAgentConfig(
         epochs=setting.baseline_rl_epochs, seed=seed), seed=seed).fit(dataset, split)
     ucpr = build_baseline("UCPR", config=SingleAgentConfig(

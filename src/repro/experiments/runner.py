@@ -1,33 +1,28 @@
-"""Run every experiment in sequence: ``python -m repro.experiments.runner``."""
+"""Run every experiment in sequence (legacy entry point).
+
+This module predates the unified CLI; ``python -m repro experiments`` is the
+canonical way to run the tables and figures now.  The module is kept so
+``python -m repro.experiments.runner`` keeps working, delegating to the same
+implementation.  Every experiment module exposes the uniform
+``run(profile=...)`` signature, so no per-experiment special-casing remains.
+"""
 
 from __future__ import annotations
 
-import argparse
-import time
-
-from . import EXPERIMENTS
+from typing import List, Optional
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--profile", default="smoke", choices=("smoke", "paper"))
-    parser.add_argument("--only", nargs="*", default=None,
-                        help="subset of experiment keys (e.g. table1 fig5)")
-    arguments = parser.parse_args()
+def main(argv: Optional[List[str]] = None) -> None:
+    from ..cli import main as cli_main
 
-    selected = arguments.only or list(EXPERIMENTS)
-    for key in selected:
-        if key not in EXPERIMENTS:
-            raise SystemExit(f"unknown experiment {key!r}; choose from {sorted(EXPERIMENTS)}")
-        module = EXPERIMENTS[key]
-        print(f"\n===== {key} =====")
-        start = time.perf_counter()
-        if key == "table2":
-            result = module.run()
-        else:
-            result = module.run(profile=arguments.profile)
-        print(module.report(result))
-        print(f"[{key} finished in {time.perf_counter() - start:.1f}s]")
+    arguments = ["experiments"]
+    if argv is not None:
+        arguments += argv
+    else:
+        import sys
+
+        arguments += sys.argv[1:]
+    raise SystemExit(cli_main(arguments))
 
 
 if __name__ == "__main__":

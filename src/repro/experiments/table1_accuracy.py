@@ -15,17 +15,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..baselines import TABLE1_BASELINES, SingleAgentConfig, build_baseline
-from ..baselines.rl_single import SingleAgentRLRecommender
-from ..darl import CADRL
 from ..data import DATASET_NAMES
 from ..eval import evaluate_recommender
 from .common import (
     ExperimentSetting,
-    cadrl_config,
     eval_users,
     format_table,
     metric_row,
     prepare_dataset,
+    trained_cadrl,
 )
 
 
@@ -80,7 +78,9 @@ def run(profile: str = "smoke", datasets: Optional[Sequence[str]] = None,
             result.metrics[dataset_name][baseline_name] = evaluation.metrics
 
         if include_cadrl:
-            cadrl = CADRL(cadrl_config(setting, seed=seed)).fit(dataset, split)
+            # Pipeline-backed: identical stacks are trained once per process
+            # and shared across experiments (see common.trained_cadrl).
+            _, _, cadrl = trained_cadrl(dataset_name, setting, seed=seed)
             evaluation = evaluate_recommender(cadrl, split, users=users)
             result.metrics[dataset_name]["CADRL"] = evaluation.metrics
     return result

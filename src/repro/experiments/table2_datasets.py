@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..data import DATASET_NAMES, dataset_statistics, load_dataset, split_interactions
 from ..kg import build_knowledge_graph
-from .common import format_table
+from .common import PROFILES, format_table
 
 # The numbers reported in the paper's Table II (for side-by-side context).
 PAPER_TABLE2: Dict[str, Dict[str, int]] = {
@@ -37,8 +37,19 @@ class Table2Result:
         return self.statistics[name]["items_per_category"]
 
 
-def run(scale: float = 1.0, seed: int = 0) -> Table2Result:
-    """Generate each preset, build its KG, and collect the Table II counters."""
+def run(profile: str = "smoke", scale: Optional[float] = None,
+        seed: int = 0) -> Table2Result:
+    """Generate each preset, build its KG, and collect the Table II counters.
+
+    The ``profile`` parameter exists for the uniform experiment-runner
+    signature; Table II reports the *preset* statistics, which do not depend
+    on the training budget, so both profiles default to the full presets
+    (``scale=1.0``).  Pass ``scale`` explicitly to rescale.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose one of {PROFILES}")
+    if scale is None:
+        scale = 1.0
     statistics: Dict[str, Dict[str, float]] = {}
     for name in DATASET_NAMES:
         dataset = load_dataset(name, scale=scale)

@@ -15,11 +15,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..baselines import TABLE3_BASELINES, SingleAgentConfig, build_baseline
-from ..darl import CADRL
 from ..data import DATASET_NAMES
 from ..eval import TimingResult, measure_efficiency
 from ..serving import RecommendationService
-from .common import ExperimentSetting, cadrl_config, format_table, prepare_dataset
+from .common import ExperimentSetting, format_table, prepare_dataset, trained_cadrl
 
 
 @dataclass
@@ -63,7 +62,13 @@ def run(profile: str = "smoke", datasets: Optional[Sequence[str]] = None,
             result.timings[dataset_name][baseline_name] = measure_efficiency(
                 model, users, paths_per_user=paths_per_user)
 
-        cadrl = CADRL(cadrl_config(setting, seed=seed)).fit(dataset, split)
+        # Pipeline-backed: reuses the stack trained by other experiments in
+        # the same process instead of re-fitting it (common.trained_cadrl).
+        # A shared stack may arrive with warm inference caches (milestones,
+        # pruned-action/matrix tables), so swap in a completely fresh
+        # recommender before timing — this row measures the cold per-user loop.
+        _, _, cadrl = trained_cadrl(dataset_name, setting, seed=seed)
+        cadrl.reset_recommender()
         result.timings[dataset_name]["CADRL"] = measure_efficiency(
             cadrl, users, paths_per_user=paths_per_user)
 

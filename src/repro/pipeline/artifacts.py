@@ -1,0 +1,155 @@
+"""On-disk persistence for pipeline stage outputs.
+
+An :class:`ArtifactStore` manages one artifact directory::
+
+    <root>/
+      config.json          # the RunConfig that produced the artifacts
+      manifest.json        # stage -> {fingerprint, metadata}; completion marks
+      data/                # dataset TSVs (repro.data.io) + split.json
+      embed/               # transe.npz
+      cggnn/               # representations.npz + losses.json
+      train/               # policy.npz + policy.json + history.json
+      eval/                # metrics.json
+      serve-check/         # report.json
+
+A stage is *complete* iff the manifest records a fingerprint for it; the
+pipeline compares that fingerprint against the current
+:meth:`RunConfig.stage_fingerprints` entry to decide whether the persisted
+artifact can be reused.  Manifest writes go through a temp-file rename so a
+crash mid-write never leaves a truncated manifest behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+CONFIG_NAME = "config.json"
+
+
+class ArtifactStore:
+    """Directory-backed storage of per-stage artifacts with a manifest.
+
+    Construction is side-effect free — directories appear on the first write
+    (``begin``/``save_*``/``complete``), never on read paths, so probing a
+    mistyped path with :func:`~repro.pipeline.load_pipeline` leaves no litter.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def config_path(self) -> Path:
+        return self.root / CONFIG_NAME
+
+    def read_manifest(self) -> Dict[str, Any]:
+        if not self.manifest_path.exists():
+            return {"stages": {}}
+        manifest = json.loads(self.manifest_path.read_text())
+        manifest.setdefault("stages", {})
+        return manifest
+
+    def _write_manifest(self, manifest: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def fingerprint_of(self, stage: str) -> Optional[str]:
+        """The recorded fingerprint of a completed stage (None if absent)."""
+        entry = self.read_manifest()["stages"].get(stage)
+        return entry["fingerprint"] if entry else None
+
+    def is_complete(self, stage: str, fingerprint: str) -> bool:
+        """Whether ``stage`` finished under exactly this fingerprint."""
+        return self.fingerprint_of(stage) == fingerprint
+
+    def metadata_of(self, stage: str) -> Dict[str, Any]:
+        entry = self.read_manifest()["stages"].get(stage) or {}
+        return dict(entry.get("metadata", {}))
+
+    # ------------------------------------------------------------------ #
+    # stage lifecycle
+    # ------------------------------------------------------------------ #
+    def stage_dir(self, stage: str) -> Path:
+        return self.root / stage
+
+    def begin(self, stage: str) -> Path:
+        """Invalidate ``stage`` (drop its completion mark) and return its dir.
+
+        The stage directory is created but deliberately not wiped: partially
+        written files are harmless because completion is manifest-gated.
+        """
+        manifest = self.read_manifest()
+        if stage in manifest["stages"]:
+            del manifest["stages"][stage]
+            self._write_manifest(manifest)
+        directory = self.stage_dir(stage)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    def write_config(self, text: str) -> None:
+        """Persist the run configuration next to the manifest."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.config_path.write_text(text)
+
+    def complete(self, stage: str, fingerprint: str,
+                 metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Record ``stage`` as complete under ``fingerprint``."""
+        manifest = self.read_manifest()
+        manifest["stages"][stage] = {"fingerprint": fingerprint,
+                                     "metadata": metadata or {}}
+        self._write_manifest(manifest)
+
+    # ------------------------------------------------------------------ #
+    # payload helpers
+    # ------------------------------------------------------------------ #
+    def save_json(self, stage: str, name: str, payload: Any) -> Path:
+        path = self.stage_dir(stage) / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   default=_json_default) + "\n")
+        return path
+
+    def load_json(self, stage: str, name: str) -> Any:
+        return json.loads((self.stage_dir(stage) / name).read_text())
+
+    def save_arrays(self, stage: str, name: str,
+                    arrays: Dict[str, np.ndarray]) -> Path:
+        """Persist named arrays as one ``.npz`` (names may contain dots)."""
+        path = self.stage_dir(stage) / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        return path
+
+    def load_arrays(self, stage: str, name: str) -> Dict[str, np.ndarray]:
+        with np.load(self.stage_dir(stage) / name) as archive:
+            return {key: np.array(archive[key]) for key in archive.files}
+
+    def has_file(self, stage: str, name: str) -> bool:
+        return (self.stage_dir(stage) / name).exists()
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value)!r}")

@@ -1,0 +1,6 @@
+"""Shared pipeline exception (its own module so stages can raise it without
+importing the orchestrator)."""
+
+
+class PipelineError(RuntimeError):
+    """A pipeline could not run, verify or load as requested."""

@@ -179,8 +179,30 @@ class RecommendationService:
         if model.recommender is None:
             raise RuntimeError("CADRL.fit must be called before serving")
         return cls(model.graph, model.category_graph, model.representations,
-                   model.trainer.policy, recommender=model.recommender,
+                   model.recommender.policy, recommender=model.recommender,
                    transe=transe, config=config, clock=clock, name=name)
+
+    @classmethod
+    def from_artifacts(cls, path, *, config: Optional[ServingConfig] = None,
+                       clock: Callable[[], float] = time.perf_counter,
+                       name: str = "CADRL (served from artifacts)"
+                       ) -> "RecommendationService":
+        """Boot a service from a persisted pipeline directory.
+
+        ``path`` is an artifact directory written by ``python -m repro run``
+        (or :func:`repro.pipeline.save_pipeline`).  The model stack is
+        restored purely from disk — no training code runs — so a fresh
+        serving process can come up from artifacts alone.  ``config``
+        overrides the persisted :class:`ServingConfig`; the TransE table is
+        restored too, so the cold-user fallback tier ranks with the same
+        geometry as the original process.
+        """
+        from ..pipeline import load_pipeline  # deferred: serving stays import-light
+
+        result = load_pipeline(path, until=("train",))
+        serving_config = config or result.config.serving
+        return cls.from_cadrl(result.cadrl, transe=result.transe,
+                              config=serving_config, clock=clock, name=name)
 
     # ------------------------------------------------------------------ #
     # request construction helpers

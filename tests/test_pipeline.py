@@ -1,0 +1,396 @@
+"""Tests for the unified pipeline API, artifact persistence and the CLI."""
+
+import inspect
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.darl import CADRLConfig
+from repro.data import load_dataset
+from repro.experiments import EXPERIMENTS
+from repro.pipeline import (
+    ArtifactStore,
+    Pipeline,
+    PipelineError,
+    RunConfig,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.pipeline.config import STAGE_NAMES, DataConfig, EvalConfig
+from repro.serving import RecommendationService
+
+
+def tiny_config() -> RunConfig:
+    """A configuration small enough to train in well under a second."""
+    config = RunConfig(
+        data=DataConfig(dataset="beauty", scale=0.25, split_seed=0),
+        model=CADRLConfig.fast(embedding_dim=16, seed=0),
+        eval=EvalConfig(max_eval_users=8),
+    )
+    config.model.transe.epochs = 5
+    config.model.cggnn_training.epochs = 3
+    config.model.darl.epochs = 2
+    return config
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    """One tiny pipeline trained and persisted for the whole module."""
+    store = tmp_path_factory.mktemp("artifacts")
+    result = Pipeline(tiny_config(), store=store).run()
+    return store, result
+
+
+class TestRunConfig:
+    def test_json_round_trip_preserves_everything(self):
+        config = tiny_config()
+        restored = RunConfig.from_json(config.to_json())
+        assert restored.to_dict() == config.to_dict()
+        assert restored.fingerprint() == config.fingerprint()
+
+    def test_fingerprint_is_stable_and_sensitive(self):
+        assert tiny_config().fingerprint() == tiny_config().fingerprint()
+        changed = tiny_config()
+        changed.model.darl.epochs += 1
+        assert changed.fingerprint() != tiny_config().fingerprint()
+
+    def test_stage_fingerprints_chain_through_the_dag(self):
+        base = tiny_config().stage_fingerprints()
+        assert set(base) == set(STAGE_NAMES)
+        # Changing the DARL epochs must invalidate train and its dependants…
+        changed = tiny_config()
+        changed.model.darl.epochs += 1
+        after = changed.stage_fingerprints()
+        for stage in ("train", "eval", "serve-check"):
+            assert after[stage] != base[stage]
+        # …but leave the persisted data/embeddings reusable.
+        for stage in ("data", "kg", "embed", "cggnn"):
+            assert after[stage] == base[stage]
+
+    def test_data_change_invalidates_every_stage(self):
+        base = tiny_config().stage_fingerprints()
+        changed = tiny_config()
+        changed.data.scale = 0.3
+        after = changed.stage_fingerprints()
+        for stage in STAGE_NAMES:
+            assert after[stage] != base[stage]
+
+    def test_unknown_fields_raise(self):
+        payload = tiny_config().to_dict()
+        payload["data"]["typo_field"] = 1
+        with pytest.raises(ValueError, match="typo_field"):
+            RunConfig.from_dict(payload)
+        with pytest.raises(ValueError, match="sections"):
+            RunConfig.from_dict({"nonsense": {}})
+
+    def test_nested_overrides_survive_the_round_trip(self):
+        # CADRLConfig.__post_init__ propagates embedding_dim/seed into the
+        # nested stage configs; explicit nested overrides must nevertheless
+        # come back verbatim from JSON.
+        config = tiny_config()
+        config.model.transe.seed = 99
+        config.model.cggnn_training.learning_rate = 0.0123
+        restored = RunConfig.from_json(config.to_json())
+        assert restored.model.transe.seed == 99
+        assert restored.model.cggnn_training.learning_rate == 0.0123
+        assert restored.fingerprint() == config.fingerprint()
+
+    def test_profiles(self):
+        smoke = RunConfig.from_profile("smoke", dataset="cellphones", seed=3)
+        paper = RunConfig.from_profile("paper")
+        assert smoke.data.dataset == "cellphones"
+        assert smoke.data.split_seed == 3
+        assert smoke.data.scale < paper.data.scale
+        assert smoke.model.darl.epochs < paper.model.darl.epochs
+        with pytest.raises(ValueError):
+            RunConfig.from_profile("huge")
+
+
+class TestLoadDatasetSeed:
+    def test_explicit_seed_is_deterministic(self):
+        first = load_dataset("beauty", scale=0.5, seed=7)
+        second = load_dataset("beauty", scale=0.5, seed=7)
+        assert [i.item_id for i in first.interactions] == \
+               [i.item_id for i in second.interactions]
+
+    def test_seed_changes_the_draw_but_presets_stay_distinct(self):
+        default = load_dataset("beauty", scale=0.5)
+        reseeded = load_dataset("beauty", scale=0.5, seed=0)
+        assert [i.item_id for i in default.interactions] != \
+               [i.item_id for i in reseeded.interactions]
+        beauty = load_dataset("beauty", scale=0.5, seed=7)
+        cellphones = load_dataset("cellphones", scale=0.5, seed=7)
+        assert [i.item_id for i in beauty.interactions] != \
+               [i.item_id for i in cellphones.interactions]
+
+    @pytest.mark.parametrize("bad_scale", [0.0, -1.0, float("nan"),
+                                           float("inf"), "big", None, True])
+    def test_invalid_scale_raises_clearly(self, bad_scale):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("beauty", scale=bad_scale)
+
+    @pytest.mark.parametrize("bad_seed", [-1, 1.5, "x", True])
+    def test_invalid_seed_raises_clearly(self, bad_seed):
+        with pytest.raises(ValueError, match="seed"):
+            load_dataset("beauty", seed=bad_seed)
+
+
+class TestPipelineExecution:
+    def test_first_run_executes_every_stage(self, trained):
+        _, result = trained
+        assert result.statuses == {name: "ran" for name in STAGE_NAMES}
+        assert result.eval_metrics is not None
+        assert result.serve_report["ok"]
+
+    def test_rerun_with_same_config_is_fully_cached(self, trained):
+        store, _ = trained
+        result = Pipeline(tiny_config(), store=store).run()
+        assert result.statuses == {name: "cached" for name in STAGE_NAMES}
+        assert result.cadrl is not None
+        assert result.eval_metrics is not None
+
+    def test_changed_stage_reruns_only_downstream(self, tmp_path, trained):
+        store, _ = trained
+        # Copy the artifacts so this test cannot dirty the shared fixture.
+        import shutil
+
+        private = tmp_path / "artifacts"
+        shutil.copytree(store, private)
+        changed = tiny_config()
+        changed.model.darl.epochs = 1
+        result = Pipeline(changed, store=private).run()
+        assert result.statuses["data"] == "cached"
+        assert result.statuses["embed"] == "cached"
+        assert result.statuses["cggnn"] == "cached"
+        assert result.statuses["train"] == "ran"
+        assert result.statuses["eval"] == "ran"
+        assert result.statuses["serve-check"] == "ran"
+
+    def test_force_recomputes(self, tmp_path):
+        config = tiny_config()
+        store = tmp_path / "artifacts"
+        Pipeline(config, store=store).run(until=("data",))
+        result = Pipeline(config, store=store, force=True).run(until=("data",))
+        assert result.statuses["data"] == "ran"
+
+    def test_until_resolves_dependencies(self):
+        pipeline = Pipeline(tiny_config())
+        assert pipeline.resolve(("train",)) == ["data", "kg", "embed", "cggnn", "train"]
+        assert pipeline.resolve(("data",)) == ["data"]
+        with pytest.raises(PipelineError, match="unknown stages"):
+            pipeline.resolve(("warp",))
+
+    def test_memory_only_run_has_no_store(self):
+        result = Pipeline(tiny_config()).run(until=("kg",))
+        assert result.artifacts_dir is None
+        assert result.graph is not None
+
+
+class TestArtifactRoundTrip:
+    def test_load_restores_identical_tables(self, trained):
+        store, result = trained
+        loaded = load_pipeline(store)
+        np.testing.assert_array_equal(loaded.representations.entity,
+                                      result.representations.entity)
+        np.testing.assert_array_equal(loaded.representations.category,
+                                      result.representations.category)
+        np.testing.assert_array_equal(loaded.transe.entity_embeddings,
+                                      result.transe.entity_embeddings)
+        assert loaded.cadrl.policy.num_parameters() == result.cadrl.policy.num_parameters()
+        for name, array in loaded.cadrl.policy.state_dict().items():
+            np.testing.assert_array_equal(array, result.cadrl.policy.state_dict()[name])
+
+    def test_identical_recommendations_after_reload(self, trained):
+        store, result = trained
+        loaded = load_pipeline(store)
+        users = sorted(result.context.builder.user_entity)[:6]
+        for user in users:
+            # DARL beam search: same paths, same order.
+            original = result.cadrl.recommend_paths(user, top_k=5)
+            restored = loaded.cadrl.recommend_paths(user, top_k=5)
+            assert [p.item_entity for p in original] == \
+                   [p.item_entity for p in restored]
+            assert [p.hops for p in original] == [p.hops for p in restored]
+            # CGGNN representation scores: exact.
+            np.testing.assert_allclose(loaded.cadrl.score_items(user),
+                                       result.cadrl.score_items(user))
+
+    def test_transe_top_k_identical_after_reload(self, trained):
+        store, result = trained
+        loaded = load_pipeline(store)
+        builder = result.context.builder
+        items = np.array(sorted(builder.item_entity.values()))
+        user = builder.user_to_entity(0)
+        assert loaded.transe.top_k_items(user, items, k=10) == \
+               result.transe.top_k_items(user, items, k=10)
+
+    def test_save_pipeline_from_memory_run(self, tmp_path):
+        result = Pipeline(tiny_config()).run(until=("train",))
+        target = save_pipeline(result, tmp_path / "saved")
+        loaded = load_pipeline(target)
+        user = sorted(result.context.builder.user_entity)[0]
+        assert [p.item_entity for p in loaded.cadrl.recommend_paths(user, top_k=3)] == \
+               [p.item_entity for p in result.cadrl.recommend_paths(user, top_k=3)]
+
+    def test_load_pipeline_rejects_wrong_directory(self, tmp_path):
+        missing = tmp_path / "nowhere"
+        with pytest.raises(PipelineError, match="config.json"):
+            load_pipeline(missing)
+        # Probing a bad path must not litter directories on disk.
+        assert not missing.exists()
+
+    def test_load_pipeline_rejects_mismatched_config(self, trained):
+        store, _ = trained
+        changed = tiny_config()
+        changed.model.darl.epochs = 99
+        with pytest.raises(PipelineError, match="fingerprint|missing"):
+            load_pipeline(store, config=changed)
+
+    def test_manifest_gates_partial_artifacts(self, tmp_path):
+        config = tiny_config()
+        store_path = tmp_path / "artifacts"
+        Pipeline(config, store=store_path).run(until=("embed",))
+        store = ArtifactStore(store_path)
+        fingerprints = config.stage_fingerprints()
+        assert store.is_complete("embed", fingerprints["embed"])
+        # Dropping the completion mark forces recomputation even though the
+        # stage files are still on disk.
+        store.begin("embed")
+        result = Pipeline(config, store=store_path).run(until=("embed",))
+        assert result.statuses["embed"] == "ran"
+
+
+class TestServiceFromArtifacts:
+    def test_equivalent_to_in_memory_service(self, trained):
+        store, result = trained
+        in_memory = result.service()
+        from_disk = RecommendationService.from_artifacts(store)
+        builder = result.context.builder
+        users = [builder.user_to_entity(user)
+                 for user in sorted(builder.user_entity)[:6]]
+        requests_a = in_memory.build_requests(users, top_k=5)
+        requests_b = from_disk.build_requests(users, top_k=5)
+        for req_a, req_b in zip(requests_a, requests_b):
+            resp_a = in_memory.serve(req_a)
+            resp_b = from_disk.serve(req_b)
+            assert resp_a.items == resp_b.items
+            assert resp_a.tier == resp_b.tier
+        # Repeats hit the cache on both sides with identical payloads.
+        for req_a, req_b in zip(requests_a, requests_b):
+            resp_a = in_memory.serve(req_a)
+            resp_b = from_disk.serve(req_b)
+            assert resp_a.cache_hit and resp_b.cache_hit
+            assert resp_a.items == resp_b.items
+
+    def test_from_artifacts_matches_from_cadrl_on_loaded_stack(self, trained):
+        store, result = trained
+        loaded = load_pipeline(store)
+        via_cadrl = RecommendationService.from_cadrl(loaded.cadrl,
+                                                     transe=loaded.transe,
+                                                     config=loaded.config.serving)
+        via_artifacts = RecommendationService.from_artifacts(store)
+        builder = result.context.builder
+        users = [builder.user_to_entity(user)
+                 for user in sorted(builder.user_entity)[:4]]
+        for request_a, request_b in zip(via_cadrl.build_requests(users, top_k=5),
+                                        via_artifacts.build_requests(users, top_k=5)):
+            assert via_cadrl.serve(request_a).items == \
+                   via_artifacts.serve(request_b).items
+
+    def test_serving_config_override(self, trained):
+        store, _ = trained
+        from repro.serving import ServingConfig
+
+        service = RecommendationService.from_artifacts(
+            store, config=ServingConfig(cache_capacity=2, cache_ttl_seconds=1.0))
+        assert service.config.cache_capacity == 2
+
+
+class TestCLI:
+    def test_run_persists_and_caches(self, tmp_path, capsys):
+        config_path = tmp_path / "run.json"
+        tiny_config().save(config_path)
+        out = tmp_path / "artifacts"
+        assert cli_main(["run", "--config", str(config_path),
+                         "--out", str(out)]) == 0
+        first = capsys.readouterr().out
+        assert "ran" in first and "serve-check: ok" in first
+        assert (out / "config.json").exists()
+        assert (out / "manifest.json").exists()
+        assert cli_main(["run", "--config", str(config_path),
+                         "--out", str(out)]) == 0
+        second = capsys.readouterr().out
+        assert "cached" in second and " ran " not in second
+
+    def test_eval_and_serve_demo_from_artifacts(self, tmp_path, capsys):
+        config_path = tmp_path / "run.json"
+        tiny_config().save(config_path)
+        out = tmp_path / "artifacts"
+        assert cli_main(["train", "--config", str(config_path),
+                         "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert cli_main(["eval", "--artifacts", str(out)]) == 0
+        eval_output = capsys.readouterr().out
+        assert "ndcg" in eval_output
+        assert cli_main(["serve-demo", "--artifacts", str(out),
+                         "--users", "5"]) == 0
+        demo_output = capsys.readouterr().out
+        assert "telemetry snapshot" in demo_output
+
+    def test_error_reporting_on_bad_artifacts(self, tmp_path, capsys):
+        missing = tmp_path / "missing"
+        missing.mkdir()
+        assert cli_main(["serve-demo", "--artifacts", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSatellites:
+    def test_every_experiment_has_uniform_run_signature(self):
+        for key, module in EXPERIMENTS.items():
+            parameters = inspect.signature(module.run).parameters
+            assert "profile" in parameters, f"{key}.run lacks profile="
+
+    def test_repro_package_exports_subpackages_lazily(self):
+        assert set(repro._SUBPACKAGES) <= set(repro.__all__)
+        assert repro.serving.RecommendationService is RecommendationService
+        assert "pipeline" in dir(repro)
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_table2_uniform_profile_signature(self):
+        from repro.experiments import table2_datasets
+
+        result = table2_datasets.run(profile="smoke", scale=0.5)
+        assert set(result.statistics) == {"beauty", "cellphones", "clothing"}
+        with pytest.raises(ValueError, match="profile"):
+            table2_datasets.run(profile="huge")
+
+    def test_trained_cadrl_is_memoised_per_fingerprint(self):
+        from repro.experiments.common import (
+            ExperimentSetting,
+            clear_stack_cache,
+            trained_cadrl,
+        )
+
+        clear_stack_cache()
+        setting = ExperimentSetting.from_profile("smoke")
+        setting.dataset_scale = 0.25
+        setting.darl_epochs = 1
+        _, _, first = trained_cadrl("beauty", setting, seed=0)
+        _, _, again = trained_cadrl("beauty", setting, seed=0)
+        assert first is again  # same object: no second training happened
+        _, _, other = trained_cadrl("beauty", setting, seed=1)
+        assert other is not first
+        # An inference override must not be served from the standard cache…
+        _, _, wide = trained_cadrl("beauty", setting, seed=0,
+                                   inference__beam_width=30)
+        assert wide is not first
+        assert wide.config.inference.beam_width == 30
+        # …and override variants are one-shot (not retained).
+        from repro.experiments.common import _STACK_CACHE
+
+        assert len(_STACK_CACHE) == 2  # seed=0 and seed=1 standard stacks only
+        clear_stack_cache()
