@@ -1,0 +1,73 @@
+"""Bench quickstart: measure the vectorised hot paths on a tiny trained stack.
+
+Demonstrates the `repro.perf` harness end-to-end:
+
+1. train + persist a tiny pipeline stack (the bench smoke profile's config);
+2. boot a serving process from the artifacts alone
+   (`RecommendationService.from_artifacts`) and push a warm-up burst through
+   it, exactly what the beam-search QPS benchmark does;
+3. run the full seeded benchmark suite against the same artifacts and write a
+   `BENCH_<timestamp>.json`, comparing against the committed baseline.
+
+Run with:
+
+    python examples/bench_quickstart.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.kg.entities import EntityType
+from repro.perf import (
+    PROFILES,
+    compare_with_baseline,
+    default_baseline_path,
+    load_baseline,
+    render_report,
+    run_bench,
+    write_bench_json,
+)
+from repro.pipeline import Pipeline
+from repro.serving import RecommendationService
+
+
+def main() -> None:
+    artifacts = Path(tempfile.mkdtemp(prefix="repro-bench-artifacts-"))
+    profile = PROFILES["smoke"]
+
+    # 1. Train the bench stack once and persist it.
+    start = time.perf_counter()
+    Pipeline(profile.run_config(), store=artifacts).run(until=("train",))
+    print(f"trained + persisted bench stack in {time.perf_counter() - start:.1f}s "
+          f"({artifacts})")
+
+    # 2. A fresh serving process, booted purely from disk.
+    service = RecommendationService.from_artifacts(artifacts)
+    users = service.graph.entities.ids_of_type(EntityType.USER)[:profile.beam_users]
+    start = time.perf_counter()
+    responses = service.serve_many(service.build_requests(users, top_k=5))
+    elapsed = time.perf_counter() - start
+    print(f"cold burst through the facade: {len(responses)} requests in "
+          f"{elapsed * 1000:.0f}ms ({len(responses) / elapsed:.0f} QPS, "
+          f"tiers={sorted({r.tier.value for r in responses})})")
+
+    # 3. The full benchmark suite against the same artifacts.
+    document = run_bench(profile, artifacts=artifacts)
+    print()
+    print(render_report(document))
+    path = write_bench_json(document, artifacts / "bench")
+    print(f"\nwrote {path}")
+
+    baseline_path = default_baseline_path(profile.name)
+    if baseline_path.exists():
+        regressions = compare_with_baseline(document, load_baseline(baseline_path))
+        if regressions:
+            for regression in regressions:
+                print("REGRESSION:", regression.describe())
+        else:
+            print(f"regression gate ok vs {baseline_path}")
+
+
+if __name__ == "__main__":
+    main()

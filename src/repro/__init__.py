@@ -22,6 +22,9 @@ Public API highlights
 * :mod:`repro.simulate` — deterministic traffic simulation: seeded workload
   traces (Zipf popularity, cold-start, bursty arrivals), an open/closed-loop
   replay driver and correctness oracles over the serving stack.
+* :mod:`repro.perf` — the performance rail: seeded benchmarks
+  (``python -m repro bench``), frozen scalar reference implementations of the
+  vectorised hot paths, and the baseline-JSON regression gate.
 
 Subpackages are imported lazily: ``import repro; repro.serving`` works without
 eagerly paying for the heavier training imports.
@@ -42,6 +45,7 @@ _SUBPACKAGES = (
     "experiments",
     "kg",
     "nn",
+    "perf",
     "pipeline",
     "rl",
     "serving",

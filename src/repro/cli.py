@@ -22,6 +22,12 @@ Commands
 ``experiments``
     Run the paper's tables/figures (replaces the old ad-hoc
     ``repro.experiments.runner`` argparse).
+``bench``
+    Run the seeded performance benchmarks (``repro.perf``): TransE epochs/s,
+    DARL rollouts/s and beam-search serving QPS (cold & warm), each measured
+    against the frozen scalar reference in the same run.  Writes
+    ``BENCH_<timestamp>.json`` and fails on regressions vs the committed
+    baseline.
 
 Examples
 --------
@@ -32,6 +38,7 @@ Examples
     python -m repro serve-demo --artifacts artifacts/smoke
     python -m repro simulate --artifacts artifacts/smoke --requests 500
     python -m repro experiments --profile smoke --only table1 fig5
+    python -m repro bench --profile smoke --out benchmarks
 """
 
 from __future__ import annotations
@@ -199,6 +206,39 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _command_bench(arguments: argparse.Namespace) -> int:
+    from .perf import (
+        compare_with_baseline,
+        default_baseline_path,
+        load_baseline,
+        render_report,
+        run_bench,
+        write_bench_json,
+    )
+
+    document = run_bench(arguments.profile, artifacts=arguments.artifacts)
+    path = write_bench_json(document, arguments.out)
+    print(render_report(document))
+    print(f"\nwrote {path}")
+
+    baseline_path = arguments.baseline or default_baseline_path(arguments.profile)
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; regression gate skipped")
+        return 0
+    regressions = compare_with_baseline(document, load_baseline(baseline_path),
+                                        threshold=arguments.threshold)
+    if regressions:
+        print(f"\nREGRESSIONS vs {baseline_path} "
+              f"(threshold {arguments.threshold:.0%}):", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression.describe()}", file=sys.stderr)
+        return 3
+    print(f"regression gate ok vs {baseline_path} "
+          f"(threshold {arguments.threshold:.0%})")
+    return 0
+
+
 def _command_experiments(arguments: argparse.Namespace) -> int:
     from .experiments import EXPERIMENTS
 
@@ -269,6 +309,25 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("uniform", "poisson", "bursty"))
     simulate.add_argument("--oracle-sample", type=int, default=50, dest="oracle_sample")
     simulate.set_defaults(handler=_command_simulate)
+
+    bench = commands.add_parser("bench",
+                                help="seeded performance benchmarks with a "
+                                     "regression gate")
+    bench.add_argument("--profile", default="medium", choices=("smoke", "medium"),
+                       help="benchmark preset (default: medium)")
+    bench.add_argument("--out", type=Path, default=Path("benchmarks"),
+                       metavar="DIR", help="directory for BENCH_<timestamp>.json "
+                                           "(default: benchmarks)")
+    bench.add_argument("--artifacts", type=Path, default=None, metavar="DIR",
+                       help="reuse a persisted pipeline instead of training "
+                            "the bench stack")
+    bench.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                       help="baseline JSON to gate against (default: "
+                            "benchmarks/bench_baseline_<profile>.json)")
+    bench.add_argument("--threshold", type=float, default=0.30,
+                       help="allowed fractional drop of gated speedups "
+                            "(default: 0.30)")
+    bench.set_defaults(handler=_command_bench)
 
     experiments = commands.add_parser("experiments",
                                       help="run the paper's tables and figures")

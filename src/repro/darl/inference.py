@@ -10,27 +10,37 @@ performs a guided beam search:
   with the guidance bonus towards the current milestone.
 
 Inference never needs gradients, so it runs on the policy's NumPy fast path;
-this is what the efficiency study (Table III) measures.
+this is what the efficiency study (Table III) measures.  The search itself is
+*vectorised over the whole frontier*: at every depth the candidate actions of
+all live beams — across all users of a batch in :meth:`recommend_many` — are
+concatenated into one ``(total_candidates, 2 * dim)`` gather from the frozen
+representation tables and scored with a single policy-query matmul, instead of
+one Python iteration (LSTM step, MLP, sort) per beam.  The scalar reference
+implementation this replaced lives on as :class:`repro.perf.reference.
+ScalarPathRecommender` and is pinned equal by the equivalence tests.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from ..cggnn.model import Representations
 from ..kg.category_graph import CategoryGraph
 from ..kg.graph import KnowledgeGraph
-from ..kg.relations import Relation
-from ..rl.environment import CategoryEnvironment, CategoryState, EntityEnvironment, EntityState
+from ..kg.relations import RELATION_LIST, Relation, relation_index
+from ..rl.environment import CategoryEnvironment, EntityEnvironment
 from ..rl.trajectory import RecommendationPath
-from .collaborative import GuidanceModel, action_target_categories
+from .collaborative import GuidanceModel
 from .shared_policy import SharedPolicyNetworks
 
 NumpyLSTMState = Tuple[np.ndarray, np.ndarray]
+
+_SELF_LOOP_INDEX = relation_index(Relation.SELF_LOOP)
 
 
 @dataclass
@@ -49,21 +59,107 @@ class InferenceConfig:
             raise ValueError("min_path_length must be positive")
 
 
+#: Compiled inference is used up to this many entities: beyond it the dense
+#: per-depth ``(beams, num_entities)`` score table (and the precomputed
+#: projection tables themselves) stop paying for themselves and the search
+#: falls back to the uncompiled policy calls.
+_COMPILED_MAX_ENTITIES = 4096
+
+
+class _CompiledInference:
+    """Frozen-policy inference tables: embeddings pre-multiplied through
+    the policy weights.
+
+    Beam search only ever feeds the entity LSTM and the query MLP with rows
+    of the (frozen) representation tables, so the input-side matmuls can be
+    done once per table instead of once per depth: a step's LSTM gates become
+    two row gathers plus the ``hidden @ W_hh`` product, and candidate scoring
+    becomes one ``(B, mlp_hidden)`` activation against score tables that
+    already absorbed the output projection.  Exactly the same arithmetic as
+    :class:`SharedPolicyNetworks`'s numpy fast path, re-associated.
+    """
+
+    def __init__(self, policy: SharedPolicyNetworks,
+                 representations: Representations) -> None:
+        dim = representations.dim
+        entity_table = representations.entity
+        relation_table = representations.relation
+
+        cell = policy.entity_lstm
+        weight_ih = cell.weight_ih.data            # (2*dim + h, 4h)
+        self.hidden_size = cell.hidden_size
+        self.lstm_relation = relation_table @ weight_ih[:dim]
+        self.lstm_entity = entity_table @ weight_ih[dim:2 * dim]
+        self.lstm_weight_hh = cell.weight_hh.data
+        self.lstm_bias = cell.bias.data
+
+        weight_in = policy.entity_mlp_in.weight.data    # (2*dim + h, m)
+        self.query_entity = entity_table @ weight_in[:dim]
+        self.query_relation = relation_table @ weight_in[dim:2 * dim]
+        self.query_hidden = weight_in[2 * dim:]
+        self.query_bias = policy.entity_mlp_in.bias.data
+
+        weight_out = policy.entity_mlp_out.weight.data  # (m, 2*dim)
+        bias_out = policy.entity_mlp_out.bias.data
+        self.score_relation = weight_out[:, :dim] @ relation_table.T   # (m, R)
+        self.score_relation_bias = bias_out[:dim] @ relation_table.T   # (R,)
+        self.score_entity = weight_out[:, dim:] @ entity_table.T       # (m, N)
+        self.score_entity_bias = bias_out[dim:] @ entity_table.T       # (N,)
+
+    @classmethod
+    def fits(cls, representations: Representations) -> bool:
+        return representations.entity.shape[0] <= _COMPILED_MAX_ENTITIES
+
+    def lstm_step(self, relation_idx: np.ndarray, entity_idx: np.ndarray,
+                  state: NumpyLSTMState) -> Tuple[np.ndarray, NumpyLSTMState]:
+        """Batched entity-LSTM step from table rows (partner share is zero
+        during inference, exactly as in the uncompiled fast path)."""
+        hidden, memory = state
+        gates = self.lstm_relation[relation_idx] + self.lstm_entity[entity_idx]
+        gates += hidden @ self.lstm_weight_hh
+        gates += self.lstm_bias
+        h = self.hidden_size
+        sigmoid = lambda x: 1.0 / (1.0 + np.exp(-x))  # noqa: E731
+        input_gate = sigmoid(gates[..., 0:h])
+        forget_gate = sigmoid(gates[..., h:2 * h])
+        candidate = np.tanh(gates[..., 2 * h:3 * h])
+        output_gate = sigmoid(gates[..., 3 * h:4 * h])
+        new_memory = forget_gate * memory + input_gate * candidate
+        new_hidden = output_gate * np.tanh(new_memory)
+        return new_hidden, (new_hidden, new_memory)
+
+    def score_tables(self, entity_idx: np.ndarray, relation_idx: np.ndarray,
+                     hidden: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-beam ``(relation_scores, target_scores)`` dense score tables."""
+        pre = self.query_entity[entity_idx] + self.query_relation[relation_idx]
+        pre += hidden @ self.query_hidden
+        pre += self.query_bias
+        np.maximum(pre, 0.0, out=pre)
+        relation_scores = pre @ self.score_relation + self.score_relation_bias
+        target_scores = pre @ self.score_entity + self.score_entity_bias
+        return relation_scores, target_scores
+
+
 @dataclass
-class _Beam:
-    """Internal beam-search state (one partial entity-agent walk)."""
+class _Frontier:
+    """The live beams of one batched search, in struct-of-arrays form.
 
-    entity_state: EntityState
-    entity_hidden: np.ndarray
-    entity_lstm: NumpyLSTMState
-    last_relation: Relation
-    log_prob: float
-    hops: Tuple[Tuple[Relation, int], ...] = ()
+    Beams are kept grouped by query slot (ascending), and within one query
+    sorted by descending cumulative log-probability — the invariant the
+    per-depth pruning re-establishes, matching the scalar implementation's
+    per-beam list order.
+    """
 
+    query: np.ndarray       # int64 (B,)  — index into the query batch
+    entity: np.ndarray      # int64 (B,)  — current entity of each beam
+    relation: np.ndarray    # int64 (B,)  — relation index of the last hop
+    log_prob: np.ndarray    # float64 (B,)
+    hidden: np.ndarray      # float64 (B, hidden_size)
+    lstm: NumpyLSTMState    # float64 (B, hidden_size) pair
+    hops: List[Tuple[Tuple[Relation, int], ...]]
 
-def _log_softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max()
-    return shifted - np.log(np.exp(shifted).sum())
+    def __len__(self) -> int:
+        return len(self.entity)
 
 
 class PathRecommender:
@@ -100,6 +196,11 @@ class PathRecommender:
         # serving process does not grow it one entry per distinct user forever.
         self.milestone_cache: "OrderedDict[int, List[Optional[int]]]" = OrderedDict()
         self.milestone_cache_limit = milestone_cache_limit
+        # Lazily compiled inference tables (policy weights folded through the
+        # frozen representation tables); None until first use or when the
+        # entity table is too large for the dense tables to pay off.
+        self._compiled: Optional[_CompiledInference] = None
+        self._compiled_checked = False
         self.entity_environment = EntityEnvironment(graph, representations,
                                                     max_actions=max_entity_actions)
         self.category_environment = CategoryEnvironment(category_graph, graph, representations,
@@ -117,15 +218,55 @@ class PathRecommender:
         ranked = sorted(candidates.values(), key=lambda path: path.score, reverse=True)
         return ranked[:k]
 
+    def recommend_many(self, user_entities: Sequence[int],
+                       exclude_items: Optional[Dict[int, Set[int]]] = None,
+                       top_k: Optional[int] = None) -> Dict[int, List[RecommendationPath]]:
+        """Batched :meth:`recommend`: one frontier search across all users.
+
+        Milestone trajectories for users missing from the cache are computed
+        with one vectorised batch rollout; the beam searches of all users then
+        advance in lock-step, sharing every per-depth policy call.
+        """
+        exclude_items = exclude_items or {}
+        users = list(dict.fromkeys(user_entities))
+        k = top_k or self.config.top_k
+        self.warm_milestones(users)
+        queries = [(user, exclude_items.get(user, set()),
+                    self.category_milestones(user)) for user in users]
+        found = self._search_frontier(queries, keep_all_paths=False)
+        results: Dict[int, List[RecommendationPath]] = {}
+        for user, candidates in zip(users, found):
+            ranked = sorted(candidates.values(), key=lambda path: path.score,
+                            reverse=True)
+            results[user] = ranked[:k]
+        return results
+
+    def recommend_requests(self, requests: Sequence[Tuple[int, Set[int], int]]
+                           ) -> List[List[RecommendationPath]]:
+        """Batched searches for ``(user, exclude_items, top_k)`` triples.
+
+        One frontier search per request slot (so the same user may appear
+        twice with different exclusions), all advanced in lock-step.  This is
+        the entry point the serving facade's micro-batcher drives.
+        """
+        if not requests:
+            return []
+        self.warm_milestones([user for user, _, _ in requests])
+        queries = [(user, exclude_items, self.category_milestones(user))
+                   for user, exclude_items, _ in requests]
+        found = self._search_frontier(queries, keep_all_paths=False)
+        results: List[List[RecommendationPath]] = []
+        for candidates, (_, _, top_k) in zip(found, requests):
+            ranked = sorted(candidates.values(), key=lambda path: path.score,
+                            reverse=True)
+            results.append(ranked[:top_k])
+        return results
+
     def recommend_batch(self, user_entities: Sequence[int],
                         exclude_items: Optional[Dict[int, Set[int]]] = None,
                         top_k: Optional[int] = None) -> Dict[int, List[RecommendationPath]]:
         """Recommendations for many users (used by the evaluation harness)."""
-        exclude_items = exclude_items or {}
-        return {
-            user: self.recommend(user, exclude_items.get(user, set()), top_k)
-            for user in user_entities
-        }
+        return self.recommend_many(user_entities, exclude_items, top_k)
 
     def find_paths(self, user_entity: int, num_paths: int) -> List[RecommendationPath]:
         """Enumerate up to ``num_paths`` item-terminated paths (efficiency metric).
@@ -166,6 +307,23 @@ class PathRecommender:
         """Drop all cached milestone trajectories."""
         self.milestone_cache.clear()
 
+    def warm_milestones(self, user_entities: Sequence[int]) -> int:
+        """Batch-compute milestone trajectories for users missing from the cache.
+
+        Returns the number of users actually rolled out; users already cached
+        (or duplicated within ``user_entities``) cost nothing.
+        """
+        missing = [user for user in dict.fromkeys(user_entities)
+                   if user not in self.milestone_cache]
+        if not missing:
+            return 0
+        if len(missing) == 1:
+            self.category_milestones(missing[0])
+            return 1
+        for user, milestones in self._batched_category_milestones(missing).items():
+            self.store_milestones(user, milestones)
+        return len(missing)
+
     def _category_milestones(self, user_entity: int) -> List[Optional[int]]:
         """Greedy category-level path of length ``max_path_length``."""
         if not self.use_dual_agent:
@@ -191,8 +349,56 @@ class PathRecommender:
                 self.representations.category_vector(chosen), hidden, lstm_state)
         return milestones
 
+    def _batched_category_milestones(self, users: Sequence[int]
+                                     ) -> Dict[int, List[Optional[int]]]:
+        """Greedy milestone trajectories for many users in one vectorised rollout.
+
+        Mirrors :meth:`_category_milestones` step for step, but runs the LSTM
+        history encoding and the policy-query MLP for the whole batch at once;
+        only the per-user action enumeration and argmax stay in Python (the
+        action sets have different sizes per user).
+        """
+        users = list(dict.fromkeys(users))
+        length = self.max_path_length
+        if not users:
+            return {}
+        if not self.use_dual_agent:
+            return {user: [None] * length for user in users}
+
+        environment = self.category_environment
+        policy = self.policy
+        representations = self.representations
+
+        starts = [environment.start_category_for(user) for user in users]
+        states = [environment.initial_state(user, start)
+                  for user, start in zip(users, starts)]
+        lstm_state = policy.initial_state_numpy(batch_size=len(users))
+        start_vectors = np.stack([representations.category_vector(s) for s in starts])
+        hidden, lstm_state = policy.encode_category_step_numpy(start_vectors, None,
+                                                               lstm_state)
+        user_vectors = np.stack([representations.entity_vector(u) for u in users])
+
+        milestones: Dict[int, List[Optional[int]]] = {user: [] for user in users}
+        for _ in range(length):
+            current_vectors = np.stack([
+                representations.category_vector(state.current_category)
+                for state in states])
+            queries = policy.category_query_numpy(user_vectors, current_vectors, hidden)
+            chosen: List[int] = []
+            for index, state in enumerate(states):
+                actions = environment.actions(state)
+                logits = environment.action_matrix(actions) @ queries[index]
+                category = actions[int(np.argmax(logits))]
+                chosen.append(category)
+                milestones[users[index]].append(category)
+                states[index] = environment.step(state, category)
+            chosen_vectors = np.stack([representations.category_vector(c) for c in chosen])
+            hidden, lstm_state = policy.encode_category_step_numpy(chosen_vectors, hidden,
+                                                                   lstm_state)
+        return milestones
+
     # ------------------------------------------------------------------ #
-    # beam search over the entity-level KG
+    # vectorised beam search over the entity-level KG
     # ------------------------------------------------------------------ #
     def search(self, user_entity: int, exclude_items: Set[int],
                keep_all_paths: bool = False,
@@ -206,86 +412,249 @@ class PathRecommender:
         """
         if milestones is None:
             milestones = self.category_milestones(user_entity)
-        beams = [self._initial_beam(user_entity)]
-        found: Dict[int, RecommendationPath] = {}
+        return self._search_frontier([(user_entity, exclude_items, milestones)],
+                                     keep_all_paths=keep_all_paths)[0]
+
+    def _compiled_inference(self) -> Optional[_CompiledInference]:
+        """The compiled inference tables, or ``None`` on oversized graphs."""
+        if not self._compiled_checked:
+            self._compiled_checked = True
+            if _CompiledInference.fits(self.representations):
+                self._compiled = _CompiledInference(self.policy, self.representations)
+        return self._compiled
+
+    def _initial_frontier(self, queries: Sequence[Tuple[int, Set[int],
+                                                        List[Optional[int]]]]
+                          ) -> _Frontier:
+        """One root beam per query, history seeded with the user self-loop hop."""
+        users = np.array([user for user, _, _ in queries], dtype=np.int64)
+        batch = len(users)
+        relation_indices = np.full(batch, _SELF_LOOP_INDEX, dtype=np.int64)
+        compiled = self._compiled_inference()
+        if compiled is not None:
+            hidden, lstm = compiled.lstm_step(
+                relation_indices, users,
+                self.policy.initial_state_numpy(batch_size=batch))
+        else:
+            hidden, lstm = self.policy.encode_entity_step_numpy(
+                np.broadcast_to(self.representations.relation[_SELF_LOOP_INDEX],
+                                (batch, self.representations.dim)),
+                self.representations.entity[users], None,
+                self.policy.initial_state_numpy(batch_size=batch))
+        return _Frontier(query=np.arange(batch, dtype=np.int64), entity=users,
+                         relation=relation_indices,
+                         log_prob=np.zeros(batch), hidden=hidden, lstm=lstm,
+                         hops=[() for _ in range(batch)])
+
+    def _candidate_actions(self, frontier: _Frontier, users: np.ndarray,
+                           guided: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated candidate actions of every live beam.
+
+        Returns ``(relations, targets, beam_of, segment_lengths)`` where the
+        first three are parallel arrays over all candidates.  Only the cached
+        per-``(entity, milestone)`` array lookups stay in Python; the per-user
+        return-to-user ban is one vectorised mask over the concatenation (the
+        caches stay user-agnostic).
+        """
+        action_arrays = self.entity_environment.action_arrays
+        beam_count = len(frontier)
+        relation_chunks: List[np.ndarray] = []
+        target_chunks: List[np.ndarray] = []
+        lengths = np.zeros(beam_count, dtype=np.int64)
+        entities = frontier.entity.tolist()
+        categories = guided.tolist()
+        # Per-call memo: a large frontier revisits the same (entity, milestone)
+        # pair many times; skip even the LRU bookkeeping for repeats.
+        memo: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        for index, key in enumerate(zip(entities, categories)):
+            chunk = memo.get(key)
+            if chunk is None:
+                entity, category = key
+                chunk = action_arrays(entity, category if category >= 0 else None)
+                memo[key] = chunk
+            relation_chunks.append(chunk[0])
+            target_chunks.append(chunk[1])
+            lengths[index] = len(chunk[1])
+        relations = np.concatenate(relation_chunks).astype(np.int64)
+        targets = np.concatenate(target_chunks).astype(np.int64)
+        beam_of = np.repeat(np.arange(beam_count, dtype=np.int64), lengths)
+
+        # Ban hops back to the query's user (unless the beam sits on the user).
+        user_of = users[frontier.query[beam_of]]
+        banned = (targets == user_of) & (frontier.entity[beam_of] != user_of)
+        if banned.any():
+            keep = ~banned
+            relations, targets, beam_of = (relations[keep], targets[keep],
+                                           beam_of[keep])
+            lengths = np.bincount(beam_of, minlength=beam_count)
+        return relations, targets, beam_of, lengths
+
+    def _search_frontier(self, queries: Sequence[Tuple[int, Set[int],
+                                                       List[Optional[int]]]],
+                         keep_all_paths: bool) -> List[Dict[int, RecommendationPath]]:
+        """Run all queries' beam searches in lock-step, one score call per depth.
+
+        Each query is ``(user_entity, exclude_items, milestones)``.  Returns
+        one ``{key: RecommendationPath}`` dict per query (keyed by item for
+        deduplicated search, by running index with ``keep_all_paths``).
+        """
+        representations = self.representations
+        policy = self.policy
+        adjacency = self.graph.adjacency()
+        compiled = self._compiled_inference()
+        strength = self.guidance.strength
+        beam_width = self.config.beam_width
+        expansions = self.config.expansions_per_beam
+
+        users = np.array([user for user, _, _ in queries], dtype=np.int64)
+        # Milestones as ints with -1 standing in for "no guidance".
+        guided_by_depth = np.full((self.max_path_length, len(queries)), -1,
+                                  dtype=np.int64)
+        for slot, (_, _, milestones) in enumerate(queries):
+            # Extra trailing entries are ignored, like the scalar search did.
+            for depth, milestone in enumerate(milestones[:self.max_path_length]):
+                if milestone is not None:
+                    guided_by_depth[depth, slot] = milestone
+
+        frontier = self._initial_frontier(queries)
+        found: List[Dict[int, RecommendationPath]] = [{} for _ in queries]
 
         for depth in range(1, self.max_path_length + 1):
-            guided_category = milestones[depth - 1]
-            expansions: List[_Beam] = []
-            for beam in beams:
-                expansions.extend(self._expand(beam, guided_category))
-            if not expansions:
+            guided = guided_by_depth[depth - 1][frontier.query]
+            relations, targets, beam_of, lengths = self._candidate_actions(
+                frontier, users, guided)
+            if len(targets) == 0:
                 break
-            expansions.sort(key=lambda candidate: candidate.log_prob, reverse=True)
-            survivors = expansions[: self.config.beam_width]
-            beams = [self._advance_history(beam) for beam in survivors]
+
+            # One policy call for every live beam:
+            # logits[i] = action_vector(i) · query(beam_of[i]), with the query
+            # split into its relation and target halves so every logit is two
+            # scalar gathers out of dense per-beam score tables.  With
+            # compiled inference the tables come straight out of the folded
+            # projection matrices; otherwise the relation half is a dense
+            # (B, num_relations) product and the target half is dense up to a
+            # size heuristic, falling back to a per-candidate einsum on large
+            # graphs where the dense rectangle would not pay for itself.
+            if compiled is not None:
+                relation_scores, target_scores = compiled.score_tables(
+                    frontier.entity, frontier.relation, frontier.hidden)
+                logits = (relation_scores[beam_of, relations]
+                          + target_scores[beam_of, targets])
+            else:
+                queries_matrix = policy.entity_query_numpy(
+                    representations.entity[frontier.entity],
+                    representations.relation[frontier.relation],
+                    frontier.hidden)
+                dim = representations.dim
+                relation_queries = queries_matrix[:, :dim]
+                target_queries = queries_matrix[:, dim:]
+                relation_scores = relation_queries @ representations.relation.T
+                num_entities = representations.entity.shape[0]
+                if len(frontier) * num_entities <= 32 * len(targets):
+                    target_scores = target_queries @ representations.entity.T
+                    logits = (relation_scores[beam_of, relations]
+                              + target_scores[beam_of, targets])
+                else:
+                    logits = (relation_scores[beam_of, relations]
+                              + np.einsum("ij,ij->i",
+                                          representations.entity[targets],
+                                          target_queries[beam_of]))
+            guided_of_candidate = guided[beam_of]
+            logits = logits + strength * (
+                (adjacency.entity_category[targets] == guided_of_candidate)
+                & (guided_of_candidate >= 0))
+
+            # Per-beam log-softmax + top expansions on a padded (B, max_len)
+            # matrix; padding scores -inf so it never wins.
+            starts = np.zeros(len(frontier), dtype=np.int64)
+            np.cumsum(lengths[:-1], out=starts[1:])
+            columns = np.arange(len(targets), dtype=np.int64) - starts[beam_of]
+            padded = np.full((len(frontier), int(lengths.max())), -np.inf)
+            padded[beam_of, columns] = logits
+            shifted = padded - padded.max(axis=1, keepdims=True)
+            log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+            if log_probs.shape[1] > expansions:
+                # Top-e per row: O(n) partition, then sort just the e winners.
+                rows = np.arange(len(frontier))[:, None]
+                part = np.argpartition(-log_probs, expansions - 1,
+                                       axis=1)[:, :expansions]
+                order = part[rows, np.argsort(-log_probs[rows, part], axis=1)]
+            else:
+                order = np.argsort(-log_probs, axis=1)[:, :expansions]
+            valid = (order < lengths[:, None]).ravel()
+            parent = np.repeat(np.arange(len(frontier), dtype=np.int64),
+                               order.shape[1])[valid]
+            column = order.ravel()[valid]
+            if len(parent) == 0:
+                break
+            flat = starts[parent] + column
+            child_relation = relations[flat]
+            child_target = targets[flat]
+            child_total = frontier.log_prob[parent] + log_probs[parent, column]
+            child_query = frontier.query[parent]
+
+            # Per-query pruning to beam_width: stable sort by (query asc,
+            # score desc), then keep each query's first beam_width children.
+            ranked = np.lexsort((np.arange(len(child_total)), -child_total,
+                                 child_query))
+            counts = np.bincount(child_query, minlength=len(queries))
+            block_starts = np.zeros(len(queries), dtype=np.int64)
+            np.cumsum(counts[:-1], out=block_starts[1:])
+            within_block = np.arange(len(ranked)) - block_starts[child_query[ranked]]
+            keep = ranked[within_block < beam_width]
+
+            survivors_parent = parent[keep]
+            hops = [frontier.hops[p] + ((RELATION_LIST[r], int(t)),)
+                    for p, r, t in zip(survivors_parent.tolist(),
+                                       child_relation[keep].tolist(),
+                                       child_target[keep].tolist())]
+            if depth < self.max_path_length:
+                # Advance the history encoder for the surviving beams; at the
+                # final depth the hidden states are never read again, so the
+                # (batched) LSTM step is skipped outright.
+                parent_state = (frontier.lstm[0][survivors_parent],
+                                frontier.lstm[1][survivors_parent])
+                if compiled is not None:
+                    hidden, lstm = compiled.lstm_step(
+                        child_relation[keep], child_target[keep], parent_state)
+                else:
+                    hidden, lstm = policy.encode_entity_step_numpy(
+                        representations.relation[child_relation[keep]],
+                        representations.entity[child_target[keep]], None,
+                        parent_state)
+            else:
+                hidden, lstm = frontier.hidden, frontier.lstm
+            frontier = _Frontier(query=child_query[keep],
+                                 entity=child_target[keep],
+                                 relation=child_relation[keep],
+                                 log_prob=child_total[keep],
+                                 hidden=hidden, lstm=lstm, hops=hops)
 
             if depth >= self.config.min_path_length:
-                for beam in beams:
-                    self._collect(beam, user_entity, exclude_items, found, keep_all_paths)
+                self._collect(frontier, queries, adjacency, found, keep_all_paths)
         return found
 
-    def _initial_beam(self, user_entity: int) -> _Beam:
-        entity_state = self.entity_environment.initial_state(user_entity)
-        lstm_state = self.policy.initial_state_numpy()
-        hidden, lstm_state = self.policy.encode_entity_step_numpy(
-            self.representations.relation_vector(Relation.SELF_LOOP),
-            self.representations.entity_vector(user_entity), None, lstm_state)
-        return _Beam(entity_state=entity_state, entity_hidden=hidden, entity_lstm=lstm_state,
-                     last_relation=Relation.SELF_LOOP, log_prob=0.0)
-
-    def _expand(self, beam: _Beam, guided_category: Optional[int]) -> List[_Beam]:
-        """Generate the highest-probability child beams of ``beam``."""
-        actions = self.entity_environment.actions(beam.entity_state,
-                                                  target_category=guided_category)
-        if not actions:
-            return []
-        # Cache per (entity, milestone, user): the same entities are revisited by
-        # many beams and depths during one user's search.
-        cache_key = (beam.entity_state.current_entity, guided_category,
-                     beam.entity_state.user_entity)
-        action_matrix = self.entity_environment.action_matrix(actions, cache_key=cache_key)
-        logits = self.policy.entity_action_logits_numpy(
-            self.representations.entity_vector(beam.entity_state.current_entity),
-            self.representations.relation_vector(beam.last_relation),
-            beam.entity_hidden, action_matrix)
-        categories = action_target_categories(self.graph, actions)
-        logits = logits + self.guidance.guidance_bonus(categories, guided_category)
-        log_probs = _log_softmax(logits)
-
-        order = np.argsort(-log_probs)[: self.config.expansions_per_beam]
-        children: List[_Beam] = []
-        for index in order:
-            relation, target = actions[index]
-            children.append(replace(
-                beam,
-                entity_state=self.entity_environment.step(beam.entity_state, actions[index]),
-                last_relation=relation,
-                log_prob=beam.log_prob + float(log_probs[index]),
-                hops=beam.hops + ((relation, target),),
-            ))
-        return children
-
-    def _advance_history(self, beam: _Beam) -> _Beam:
-        """Update the entity history encoder for a surviving beam."""
-        relation, target = beam.hops[-1]
-        hidden, lstm_state = self.policy.encode_entity_step_numpy(
-            self.representations.relation_vector(relation),
-            self.representations.entity_vector(target),
-            None, beam.entity_lstm)
-        return replace(beam, entity_hidden=hidden, entity_lstm=lstm_state)
-
-    def _collect(self, beam: _Beam, user_entity: int, exclude_items: Set[int],
-                 found: Dict[int, RecommendationPath], keep_all_paths: bool) -> None:
-        """Record the beam's endpoint if it is a recommendable item."""
-        entity = beam.entity_state.current_entity
-        if not self.entity_environment.is_item(entity):
-            return
-        if entity in exclude_items:
-            return
-        path = RecommendationPath(user_entity=user_entity, item_entity=entity,
-                                  hops=beam.hops, score=beam.log_prob)
-        key = entity if not keep_all_paths else len(found)
-        existing = found.get(key)
-        if existing is None or path.score > existing.score:
-            found[key] = path
+    def _collect(self, frontier: _Frontier,
+                 queries: Sequence[Tuple[int, Set[int], List[Optional[int]]]],
+                 adjacency, found: List[Dict[int, RecommendationPath]],
+                 keep_all_paths: bool) -> None:
+        """Record every beam whose endpoint is a recommendable item."""
+        is_item = adjacency.is_item[frontier.entity]
+        for index in np.flatnonzero(is_item).tolist():
+            slot = int(frontier.query[index])
+            entity = int(frontier.entity[index])
+            user, exclude_items, _ = queries[slot]
+            if entity in exclude_items:
+                continue
+            score = float(frontier.log_prob[index])
+            bucket = found[slot]
+            key = entity if not keep_all_paths else len(bucket)
+            existing = bucket.get(key)
+            if existing is not None and score <= existing.score:
+                continue
+            bucket[key] = RecommendationPath(user_entity=int(user),
+                                             item_entity=entity,
+                                             hops=frontier.hops[index],
+                                             score=score)

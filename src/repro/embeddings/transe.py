@@ -14,7 +14,7 @@ pre-training stage down).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -153,78 +153,194 @@ def top_k_by_score(candidates: np.ndarray, scores: np.ndarray, k: int) -> List[i
     return [int(candidate) for candidate in candidates[order]]
 
 
+#: Above this table size (rows × dim) the flat-bincount scatter would spend
+#: more time zeroing its dense accumulator than adding updates; fall back to
+#: a single fused ``np.add.at`` instead.
+_BINCOUNT_SCATTER_LIMIT = 1 << 21
+
+
+#: Tables with at most this many rows scatter through a one-hot matmul — at
+#: relation-table size the dense (rows, batch) GEMM is far cheaper than any
+#: histogram over the update elements.
+_DENSE_SCATTER_ROWS = 64
+
+
+class _ScatterAdd:
+    """``table[indices] += values`` with duplicate indices accumulated.
+
+    Strategy by table size, chosen once at construction:
+
+    * tiny tables (relations): accumulate via a one-hot ``(rows, batch)``
+      matmul — BLAS turns the scatter into a few microseconds;
+    * small/medium tables (entities of this repository's graphs): one flat
+      weighted ``np.bincount`` over ``rows * dim`` cells, several times faster
+      than ``np.add.at``;
+    * very large tables: the dense accumulator stops paying for itself and
+      the buffered ``np.add.at`` path takes over.
+
+    All workspaces are preallocated, so the hot loop allocates nothing but
+    the accumulator output.
+    """
+
+    def __init__(self, table_rows: int, dim: int, max_indices: int) -> None:
+        self.dim = dim
+        self.rows = table_rows
+        self.cells = table_rows * dim
+        self.use_dense = table_rows <= _DENSE_SCATTER_ROWS
+        self.use_bincount = (not self.use_dense
+                             and self.cells <= _BINCOUNT_SCATTER_LIMIT)
+        if self.use_dense:
+            self._one_hot = np.zeros((table_rows, max_indices))
+            self._accumulator = np.empty((table_rows, dim))
+        elif self.use_bincount:
+            self._flat = np.empty((max_indices, dim), dtype=np.int64)
+            self._columns = np.arange(dim, dtype=np.int64)
+
+    def __call__(self, table: np.ndarray, indices: np.ndarray,
+                 values: np.ndarray) -> None:
+        size = len(indices)
+        if self.use_dense:
+            one_hot = self._one_hot[:, :size]
+            one_hot[:] = 0.0
+            one_hot[indices, np.arange(size)] = 1.0
+            np.matmul(one_hot, values, out=self._accumulator)
+            table += self._accumulator
+        elif self.use_bincount:
+            flat = self._flat[:size]
+            np.add(np.multiply(indices, self.dim)[:, None], self._columns,
+                   out=flat)
+            table += np.bincount(flat.ravel(), weights=values.ravel(),
+                                 minlength=self.cells).reshape(table.shape)
+        else:
+            np.add.at(table, indices, values)
+
+
 def train_transe(graph: KnowledgeGraph, config: Optional[TransEConfig] = None
                  ) -> Tuple[TransEModel, List[float]]:
     """Train TransE on all triplets of ``graph``.
 
     Returns the model and the per-epoch average margin loss (for convergence
     inspection in tests and notebooks).
+
+    The loop is fully vectorised per mini-batch: the triplet table comes from
+    the graph's compiled CSR view, index columns are contiguous arrays, both
+    margin distances are einsum reductions, and all gradient contributions of
+    a batch land in two scatter-adds (entities, relations).  Same-seed runs
+    reproduce the scalar reference trainer
+    (:func:`repro.perf.reference.train_transe_reference`) to float precision.
     """
     config = config or TransEConfig()
     config.validate()
     model = TransEModel(graph.num_entities, config)
     rng = np.random.default_rng(config.seed + 1)
 
-    triplets = np.array([(t.head, relation_index(t.relation), t.tail)
-                         for t in graph.triplets()], dtype=np.int64)
+    triplets = graph.adjacency().triplets
     if len(triplets) == 0:
         return model, []
+    heads_all = np.ascontiguousarray(triplets[:, 0])
+    relations_all = np.ascontiguousarray(triplets[:, 1])
+    tails_all = np.ascontiguousarray(triplets[:, 2])
 
     losses: List[float] = []
+    num_triplets = len(triplets)
     num_entities = graph.num_entities
+    margin, lr = config.margin, config.learning_rate
+    ent, rel = model.entity_embeddings, model.relation_embeddings
+    dim = config.embedding_dim
+
+    # Reusable buffers: one fused entity gather/scatter block per batch
+    # (heads | neg_heads | tails | neg_tails — sources first, so positive and
+    # negative triplets share every elementwise pass) instead of four.
+    batch_max = min(config.batch_size, num_triplets)
+    index_buffer = np.empty(4 * batch_max, dtype=np.int64)
+    value_buffer = np.empty((4 * batch_max, dim))
+    gather_buffer = np.empty((4 * batch_max, dim))
+    relation_gather = np.empty((batch_max, dim))
+    diff_buffer = np.empty((2 * batch_max, dim))
+    coef_buffer = np.empty(2 * batch_max)
+    scale_buffer = np.empty(batch_max)
+    entity_scatter = _ScatterAdd(num_entities, dim, 4 * batch_max)
+    relation_scatter = _ScatterAdd(rel.shape[0], dim, batch_max)
+
     for _ in range(config.epochs):
-        order = rng.permutation(len(triplets))
+        order = rng.permutation(num_triplets)
+        # Permute once per epoch so every batch slices contiguously.
+        heads_epoch = heads_all[order]
+        relations_epoch = relations_all[order]
+        tails_epoch = tails_all[order]
         epoch_loss = 0.0
         count = 0
-        for start in range(0, len(order), config.batch_size):
-            batch = triplets[order[start:start + config.batch_size]]
-            heads, relations, tails = batch[:, 0], batch[:, 1], batch[:, 2]
+        for start in range(0, num_triplets, config.batch_size):
+            stop = min(start + config.batch_size, num_triplets)
+            heads = heads_epoch[start:stop]
+            relations = relations_epoch[start:stop]
+            tails = tails_epoch[start:stop]
+            size = stop - start
             for _ in range(config.negative_samples):
-                corrupt_heads = rng.random(len(batch)) < 0.5
-                neg_heads = heads.copy()
-                neg_tails = tails.copy()
-                replacements = rng.integers(0, num_entities, size=len(batch))
-                neg_heads[corrupt_heads] = replacements[corrupt_heads]
-                neg_tails[~corrupt_heads] = replacements[~corrupt_heads]
+                # Same RNG draw order as the reference trainer: one uniform
+                # vector (corruption side) then one integer vector (targets).
+                corrupt_heads = rng.random(size) < 0.5
+                replacements = rng.integers(0, num_entities, size=size)
 
-                loss = _margin_step(model, config, heads, relations, tails,
-                                    neg_heads, neg_tails)
-                epoch_loss += loss
+                # Corrupted triplets are written straight into the fused index
+                # block: neg_heads = heads / neg_tails = tails with the
+                # corrupted side overwritten by the replacements.
+                indices = index_buffer[:4 * size]
+                indices[0 * size:1 * size] = heads
+                indices[1 * size:2 * size] = heads
+                indices[2 * size:3 * size] = tails
+                indices[3 * size:4 * size] = tails
+                np.copyto(indices[1 * size:2 * size], replacements,
+                          where=corrupt_heads)
+                np.copyto(indices[3 * size:4 * size], replacements,
+                          where=~corrupt_heads)
+                gathered = gather_buffer[:4 * size]
+                # mode="clip" skips the bounds-check pass of the default mode
+                # (indices come straight from the triplet table, so they are
+                # always in range); with it, take-into-buffer is the fastest
+                # gather NumPy offers.
+                np.take(ent, indices, axis=0, out=gathered, mode="clip")
+                relation_rows = relation_gather[:size]
+                np.take(rel, relations, axis=0, out=relation_rows, mode="clip")
+
+                # diffs = [h + r - t ; h' + r - t'] in one stacked block, so
+                # every elementwise pass covers positives and negatives at once.
+                diffs = diff_buffer[:2 * size]
+                stacked = diffs.reshape(2, size, dim)
+                np.add(gathered[:2 * size].reshape(2, size, dim), relation_rows,
+                       out=stacked)
+                stacked -= gathered[2 * size:].reshape(2, size, dim)
+                distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+                pos_dist = distances[:size]
+                neg_dist = distances[size:]
+                violation = margin + pos_dist - neg_dist
+                active = violation > 0
                 count += 1
+                if not np.any(active):
+                    continue
+
+                # d/dx ||x|| = x / ||x||; inactive rows are scaled to zero so
+                # the scatter needs no boolean gathers of the index arrays.
+                # Head sources get [-pos_grad ; +neg_grad], tail targets the
+                # negation, matching the [heads|neg_heads|tails|neg_tails]
+                # index layout above.
+                scaled_active = scale_buffer[:size]
+                np.multiply(active, lr, out=scaled_active)
+                coef = coef_buffer[:2 * size]
+                np.divide(scaled_active, pos_dist + 1e-12, out=coef[:size])
+                np.divide(scaled_active, neg_dist + 1e-12, out=coef[size:])
+                np.negative(coef[:size], out=coef[:size])
+                values = value_buffer[:4 * size]
+                np.multiply(diffs, coef[:, None], out=values[:2 * size])
+                np.negative(values[:2 * size], out=values[2 * size:])
+                entity_scatter(ent, indices, values)
+                relation_scatter(rel, relations,
+                                 values[0 * size:1 * size] + values[1 * size:2 * size])
+                epoch_loss += float(violation.dot(active) / active.sum())
         model._normalize_entities()
+        ent, rel = model.entity_embeddings, model.relation_embeddings
         losses.append(epoch_loss / max(count, 1))
     return model, losses
-
-
-def _margin_step(model: TransEModel, config: TransEConfig,
-                 heads: np.ndarray, relations: np.ndarray, tails: np.ndarray,
-                 neg_heads: np.ndarray, neg_tails: np.ndarray) -> float:
-    """One SGD step of the margin ranking loss; returns the batch loss."""
-    ent = model.entity_embeddings
-    rel = model.relation_embeddings
-
-    pos_diff = ent[heads] + rel[relations] - ent[tails]
-    neg_diff = ent[neg_heads] + rel[relations] - ent[neg_tails]
-    pos_dist = np.linalg.norm(pos_diff, axis=1)
-    neg_dist = np.linalg.norm(neg_diff, axis=1)
-    violation = config.margin + pos_dist - neg_dist
-    active = violation > 0
-    if not np.any(active):
-        return 0.0
-
-    lr = config.learning_rate
-    # d/dx ||x|| = x / ||x||
-    pos_grad = pos_diff[active] / (pos_dist[active, None] + 1e-12)
-    neg_grad = neg_diff[active] / (neg_dist[active, None] + 1e-12)
-
-    np.add.at(ent, heads[active], -lr * pos_grad)
-    np.add.at(ent, tails[active], lr * pos_grad)
-    np.add.at(rel, relations[active], -lr * pos_grad)
-    np.add.at(ent, neg_heads[active], lr * neg_grad)
-    np.add.at(ent, neg_tails[active], -lr * neg_grad)
-    np.add.at(rel, relations[active], lr * neg_grad)
-
-    return float(np.mean(violation[active]))
 
 
 def category_embeddings(model: TransEModel, graph: KnowledgeGraph) -> np.ndarray:

@@ -1,21 +1,35 @@
 """Knowledge-graph substrate: entities, relations, the KG, ``Gc`` and pruning."""
 
+from .adjacency import CSRAdjacency, compile_adjacency
 from .builder import KGBuilder, build_knowledge_graph
 from .category_graph import CategoryGraph
 from .entities import Entity, EntityStore, EntityType
 from .graph import KnowledgeGraph, Triplet
-from .pruning import category_guided_prune, degree_prune, ensure_self_loop, score_prune
+from .pruning import (
+    category_guided_prune,
+    category_guided_prune_arrays,
+    degree_prune,
+    degree_prune_arrays,
+    ensure_self_loop,
+    ensure_self_loop_arrays,
+    entity_prune_rng,
+    score_prune,
+)
 from .relations import (
     FORWARD_RELATIONS,
+    NUM_RELATIONS,
+    RELATION_LIST,
     Relation,
     all_relations,
     inverse_of,
     is_inverse,
+    relation_from_index,
     relation_index,
     schema_is_valid,
 )
 
 __all__ = [
+    "CSRAdjacency",
     "CategoryGraph",
     "Entity",
     "EntityStore",
@@ -23,15 +37,23 @@ __all__ = [
     "FORWARD_RELATIONS",
     "KGBuilder",
     "KnowledgeGraph",
+    "NUM_RELATIONS",
+    "RELATION_LIST",
     "Relation",
     "Triplet",
     "all_relations",
     "build_knowledge_graph",
     "category_guided_prune",
+    "category_guided_prune_arrays",
+    "compile_adjacency",
     "degree_prune",
+    "degree_prune_arrays",
     "ensure_self_loop",
+    "ensure_self_loop_arrays",
+    "entity_prune_rng",
     "inverse_of",
     "is_inverse",
+    "relation_from_index",
     "relation_index",
     "schema_is_valid",
     "score_prune",

@@ -1,0 +1,115 @@
+"""Compiled CSR view of a :class:`~repro.kg.graph.KnowledgeGraph`.
+
+The dict-of-lists adjacency of :class:`KnowledgeGraph` is ideal for
+construction but slow to *walk*: every neighbour enumeration allocates a list
+of ``(Relation, int)`` tuples and every degree/category lookup is a dict hit.
+The RL hot paths (action pruning, beam search, TransE pre-training) touch
+millions of edges per second, so this module flattens the graph once into
+contiguous ``int32`` arrays — the classic compressed-sparse-row layout — and
+every hot query becomes an array slice or gather:
+
+* ``indptr[e] : indptr[e + 1]`` delimits entity ``e``'s outgoing edges;
+* ``relations`` / ``targets`` hold the relation index and target entity of
+  each edge, in exactly the insertion order of the source graph (so pruning
+  on the CSR view reproduces the list-based results bit for bit);
+* ``degrees``, ``entity_category`` (``-1`` when unassigned) and ``is_item``
+  answer the per-entity queries of the walkers without touching Python dicts;
+* ``triplets`` is the ``(num_edges, 3)`` ``[head, relation, tail]`` table the
+  TransE trainer consumes directly.
+
+Compilation is cheap (one pass over the edges) and cached on the graph via
+:meth:`KnowledgeGraph.adjacency`; any mutation of the graph bumps its version
+counter and invalidates the cached view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from .entities import EntityType
+from .relations import Relation, relation_index
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .graph import KnowledgeGraph
+
+#: Embedding-table row of the self-loop relation, shared by the array walkers.
+SELF_LOOP_INDEX: int = relation_index(Relation.SELF_LOOP)
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Frozen array-backed adjacency + per-entity metadata of one KG snapshot."""
+
+    indptr: np.ndarray           # int32, shape (num_entities + 1,)
+    relations: np.ndarray        # int32, shape (num_edges,) — relation_index per edge
+    targets: np.ndarray          # int32, shape (num_edges,) — target entity per edge
+    degrees: np.ndarray          # int32, shape (num_entities,) — out-degree
+    entity_category: np.ndarray  # int32, shape (num_entities,) — category id, -1 if none
+    is_item: np.ndarray          # bool,  shape (num_entities,)
+    triplets: np.ndarray         # int64, shape (num_edges, 3) — [head, rel_idx, tail]
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets)
+
+    def out_edges(self, entity_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(relation_indices, targets)`` views of an entity's outgoing edges."""
+        start, stop = self.indptr[entity_id], self.indptr[entity_id + 1]
+        return self.relations[start:stop], self.targets[start:stop]
+
+    def degree(self, entity_id: int) -> int:
+        return int(self.degrees[entity_id])
+
+
+def compile_adjacency(graph: "KnowledgeGraph") -> CSRAdjacency:
+    """One-pass flattening of ``graph`` into a :class:`CSRAdjacency`.
+
+    Edge order within each entity matches ``graph.outgoing(entity)`` exactly,
+    which is what lets the vectorised pruning return identical action sets to
+    the list-based implementation.
+    """
+    num_entities = graph.num_entities
+    counts = np.zeros(num_entities, dtype=np.int64)
+    outgoing = graph._outgoing
+    for entity_id, edges in outgoing.items():
+        counts[entity_id] = len(edges)
+    indptr = np.zeros(num_entities + 1, dtype=np.int32)
+    np.cumsum(counts, out=indptr[1:])
+
+    num_edges = int(indptr[-1])
+    relations = np.zeros(num_edges, dtype=np.int32)
+    targets = np.zeros(num_edges, dtype=np.int32)
+    for entity_id, edges in outgoing.items():
+        start = indptr[entity_id]
+        for offset, (relation, target) in enumerate(edges):
+            relations[start + offset] = relation_index(relation)
+            targets[start + offset] = target
+
+    entity_category = np.full(num_entities, -1, dtype=np.int32)
+    for item_id, category in graph._item_category.items():
+        entity_category[item_id] = category
+
+    is_item = np.zeros(num_entities, dtype=bool)
+    for item_id in graph.entities.ids_of_type(EntityType.ITEM):
+        is_item[item_id] = True
+
+    # The triplet table preserves *global* insertion order (the order of
+    # ``graph.triplets()``): the TransE trainer permutes row indices, so the
+    # row order is part of the reproducible training trajectory.
+    triplets = np.empty((num_edges, 3), dtype=np.int64)
+    for row, triplet in enumerate(graph._triplets):
+        triplets[row, 0] = triplet.head
+        triplets[row, 1] = relation_index(triplet.relation)
+        triplets[row, 2] = triplet.tail
+
+    return CSRAdjacency(indptr=indptr, relations=relations, targets=targets,
+                        degrees=np.diff(indptr).astype(np.int32),
+                        entity_category=entity_category, is_item=is_item,
+                        triplets=triplets)

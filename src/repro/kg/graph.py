@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .adjacency import CSRAdjacency, compile_adjacency
 from .entities import Entity, EntityStore, EntityType
 from .relations import Relation, inverse_of, schema_is_valid
 
@@ -48,6 +49,12 @@ class KnowledgeGraph:
         self._incoming: Dict[int, List[Tuple[Relation, int]]] = defaultdict(list)
         self._item_category: Dict[int, int] = {}
         self._category_names: List[str] = []
+        # Mutation counter + cached compiled view (see :meth:`adjacency`).
+        # The validity key includes the entity count: the graph does not own
+        # its EntityStore, so entities can appear without any edge write.
+        self._version = 0
+        self._adjacency: Optional[CSRAdjacency] = None
+        self._adjacency_key: Tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -74,6 +81,7 @@ class KnowledgeGraph:
         self._triplets.append(Triplet(head, relation, tail))
         self._outgoing[head].append((relation, tail))
         self._incoming[tail].append((relation, head))
+        self._version += 1
         if add_inverse:
             self.add_triplet(tail, inverse_of(relation), head, add_inverse=False)
         return True
@@ -85,6 +93,7 @@ class KnowledgeGraph:
         if category_id < 0:
             raise ValueError("category id must be non-negative")
         self._item_category[item_id] = category_id
+        self._version += 1
 
     def set_category_names(self, names: Sequence[str]) -> None:
         """Record human-readable category labels (index = category id)."""
@@ -135,6 +144,27 @@ class KnowledgeGraph:
     def item_category_map(self) -> Dict[int, int]:
         """Copy of the item → category assignment."""
         return dict(self._item_category)
+
+    # ------------------------------------------------------------------ #
+    # compiled adjacency
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every triplet/category write."""
+        return self._version
+
+    def adjacency(self) -> CSRAdjacency:
+        """The compiled CSR view of this graph (cached until the graph mutates).
+
+        This is the substrate of every vectorised hot path: action pruning,
+        beam search and TransE pre-training all slice these arrays instead of
+        walking the dict-of-lists adjacency.
+        """
+        key = (self._version, self.num_entities)
+        if self._adjacency is None or self._adjacency_key != key:
+            self._adjacency = compile_adjacency(self)
+            self._adjacency_key = key
+        return self._adjacency
 
     # ------------------------------------------------------------------ #
     # neighbourhood queries

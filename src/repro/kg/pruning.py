@@ -13,12 +13,27 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .adjacency import SELF_LOOP_INDEX, CSRAdjacency
 from .graph import KnowledgeGraph
 from .relations import Relation
 
 # An entity-level action is (relation, next_entity).
 Action = Tuple[Relation, int]
 ScoreFunction = Callable[[int, Relation, int], float]
+
+# An array-backed action set: (relation_index, target_entity) int arrays.
+ActionArrays = Tuple[np.ndarray, np.ndarray]
+
+
+def entity_prune_rng(seed: int, entity_id: int) -> np.random.Generator:
+    """Seeded per-entity RNG substream for pruning tie-breaks.
+
+    Deriving the stream from ``(seed, entity_id)`` makes the pruned action set
+    of an entity a pure function of the graph and the seed — independent of
+    the *order* in which entities are visited — so cached action sets are
+    replay-deterministic across runs and across serving processes.
+    """
+    return np.random.default_rng((seed, entity_id))
 
 
 def degree_prune(graph: KnowledgeGraph, entity_id: int, max_actions: int,
@@ -91,6 +106,64 @@ def category_guided_prune(graph: KnowledgeGraph, entity_id: int, max_actions: in
         order = np.argsort([-graph.degree(tail) for _, tail in rest])
     guided.extend(rest[i] for i in order[:remaining])
     return guided
+
+
+# --------------------------------------------------------------------------- #
+# vectorised pruning on the compiled CSR view
+# --------------------------------------------------------------------------- #
+# These mirror the list-based functions above action for action (same order,
+# same tie-breaking) but operate on int arrays: one slice + one argsort per
+# call instead of a Python loop per neighbour.  The RL environments use them
+# as the hot-path implementation; the list-based versions remain the readable
+# reference (and are what the equivalence tests compare against).
+
+def degree_prune_arrays(adjacency: CSRAdjacency, entity_id: int, max_actions: int,
+                        rng: Optional[np.random.Generator] = None) -> ActionArrays:
+    """Array-backed :func:`degree_prune`: identical action set and order."""
+    relations, targets = adjacency.out_edges(entity_id)
+    if len(targets) <= max_actions:
+        return relations.copy(), targets.copy()
+    scores = adjacency.degrees[targets].astype(np.float64)
+    if rng is not None:
+        scores = scores + rng.random(len(scores)) * 1e-6
+    # Desc by score, ties broken towards the larger index — the sort order of
+    # the list implementation's ``(score, index)`` tuples under reverse=True.
+    order = np.lexsort((np.arange(len(scores)), scores))[::-1][:max_actions]
+    return relations[order], targets[order]
+
+
+def category_guided_prune_arrays(adjacency: CSRAdjacency, entity_id: int,
+                                 max_actions: int,
+                                 target_category: Optional[int]) -> ActionArrays:
+    """Array-backed :func:`category_guided_prune` (degree-scored variant)."""
+    relations, targets = adjacency.out_edges(entity_id)
+    if len(targets) <= max_actions:
+        return relations.copy(), targets.copy()
+
+    if target_category is None:
+        guided_mask = np.zeros(len(targets), dtype=bool)
+    else:
+        guided_mask = adjacency.entity_category[targets] == target_category
+    guided = np.flatnonzero(guided_mask)
+    if len(guided) >= max_actions:
+        keep = guided[:max_actions]
+        return relations[keep], targets[keep]
+
+    rest = np.flatnonzero(~guided_mask)
+    # Same np.argsort call on the same negated-degree array as the list
+    # implementation, so equal-degree ties resolve identically.
+    order = np.argsort(-adjacency.degrees[targets[rest]])
+    keep = np.concatenate([guided, rest[order[: max_actions - len(guided)]]])
+    return relations[keep], targets[keep]
+
+
+def ensure_self_loop_arrays(actions: ActionArrays, entity_id: int) -> ActionArrays:
+    """Array-backed :func:`ensure_self_loop`."""
+    relations, targets = actions
+    if not (relations == SELF_LOOP_INDEX).any():
+        relations = np.append(relations, np.int32(SELF_LOOP_INDEX))
+        targets = np.append(targets, np.int32(entity_id))
+    return relations, targets
 
 
 def ensure_self_loop(actions: Sequence[Action], entity_id: int) -> List[Action]:

@@ -87,14 +87,27 @@ RELATION_SCHEMA.update({
 })
 
 
+#: Definition-order list of every relation; index = embedding-table row.
+RELATION_LIST: List[Relation] = list(Relation)
+
+_RELATION_INDEX: Dict[Relation, int] = {rel: i for i, rel in enumerate(RELATION_LIST)}
+
+NUM_RELATIONS: int = len(RELATION_LIST)
+
+
 def relation_index(relation: Relation) -> int:
     """Stable integer id for a relation (used by embedding tables)."""
-    return list(Relation).index(relation)
+    return _RELATION_INDEX[relation]
+
+
+def relation_from_index(index: int) -> Relation:
+    """Inverse of :func:`relation_index`."""
+    return RELATION_LIST[index]
 
 
 def all_relations() -> List[Relation]:
     """Every relation, including inverses and the self-loop."""
-    return list(Relation)
+    return list(RELATION_LIST)
 
 
 def schema_is_valid(head_type: EntityType, relation: Relation, tail_type: EntityType) -> bool:

@@ -1,0 +1,395 @@
+"""Seeded micro/macro benchmarks with a JSON trail and a regression gate.
+
+``python -m repro bench`` runs three workloads on a pipeline-built stack:
+
+* **TransE pre-training** — the vectorised trainer against the frozen scalar
+  reference (:mod:`repro.perf.reference`), reported as epochs/s;
+* **DARL rollouts** — REINFORCE episodes/s of the dual-agent trainer
+  (tracked for trend, no reference pair);
+* **Beam-search serving QPS** — ``serve_many`` bursts through a
+  :class:`repro.serving.RecommendationService`, cold (all caches empty) and
+  warm (milestone/action caches hot, result cache cleared so the search
+  actually runs), for both the vectorised and the scalar recommender.
+
+Both sides of every pair run interleaved in the same process on the same
+data, and the gateable numbers are the *speedup ratios* — machine-independent
+by construction, unlike raw QPS.  Results land in ``BENCH_<timestamp>.json``;
+:func:`compare_with_baseline` flags any gated ratio that fell more than the
+threshold below the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..darl.model import CADRLConfig
+from ..darl.trainer import DARLConfig, DARLTrainer
+from ..embeddings import TransEConfig, train_transe
+from ..kg.entities import EntityType
+from ..pipeline import Pipeline, PipelineResult, RunConfig
+from ..serving import RecommendationService, ServingConfig
+from .reference import ScalarPathRecommender, train_transe_reference
+
+#: Metrics (dotted paths into the ``metrics`` dict) guarded by the regression
+#: gate.  Ratios only: absolute epochs/s and QPS depend on the machine.
+GATED_METRICS = ("transe.speedup", "beam_cold.speedup", "beam_warm.speedup")
+
+
+@dataclass
+class BenchProfile:
+    """One reproducible benchmark configuration."""
+
+    name: str
+    dataset: str = "beauty"
+    scale: float = 1.0
+    seed: int = 0
+    embedding_dim: int = 32      # model stack dimension (smoke-config default)
+    beam_width: int = 12         # smoke-config search width
+    max_entity_actions: int = 25
+    darl_epochs: int = 1         # stack build only needs *a* trained policy
+    transe_dim: int = 32         # TransE microbench dimension
+    transe_epochs: int = 2       # per timed run; epoch time = wall / epochs
+    beam_users: int = 60
+    beam_top_k: int = 10
+    rollout_users: int = 20
+    repeats: int = 5             # interleaved repetitions, median taken
+
+    def validate(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if min(self.transe_epochs, self.beam_users, self.repeats,
+               self.rollout_users, self.beam_top_k, self.beam_width,
+               self.max_entity_actions) <= 0:
+            raise ValueError("benchmark sizes must be positive")
+
+    def run_config(self) -> RunConfig:
+        """The pipeline configuration that builds this profile's stack."""
+        config = RunConfig.from_profile("smoke", dataset=self.dataset,
+                                        seed=self.seed)
+        config.data.scale = self.scale
+        config.model = CADRLConfig.fast(embedding_dim=self.embedding_dim,
+                                        seed=self.seed)
+        config.model.darl.epochs = self.darl_epochs
+        config.model.darl.max_entity_actions = self.max_entity_actions
+        config.model.inference.beam_width = self.beam_width
+        return config
+
+
+PROFILES: Dict[str, BenchProfile] = {
+    # smoke: the CI-sized preset — the exact smoke-pipeline stack, tiny data.
+    "smoke": BenchProfile(name="smoke", scale=0.4, beam_users=20,
+                          rollout_users=10, repeats=3),
+    # medium: paper-sized search hyper-parameters (beam 20, |A^e| <= 50,
+    # L = 6) on the full synthetic Beauty preset.
+    "medium": BenchProfile(name="medium", scale=1.0, embedding_dim=64,
+                           beam_width=20, max_entity_actions=50,
+                           beam_users=60, rollout_users=20, repeats=5),
+}
+
+
+def _median_ab(first: Callable[[], None], second: Callable[[], None],
+               repeats: int) -> Tuple[float, float]:
+    """Median wall time of two callables, interleaved to cancel drift."""
+    first()
+    second()
+    times_first: List[float] = []
+    times_second: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        first()
+        times_first.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        second()
+        times_second.append(time.perf_counter() - start)
+    return statistics.median(times_first), statistics.median(times_second)
+
+
+def _median(callable_: Callable[[], None], repeats: int) -> float:
+    callable_()
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+# --------------------------------------------------------------------------- #
+# individual benchmarks
+# --------------------------------------------------------------------------- #
+def bench_transe(result: PipelineResult, profile: BenchProfile) -> Dict[str, float]:
+    """Vectorised vs reference TransE training, epochs per second."""
+    graph = result.graph
+    graph.adjacency()  # compiled once; not part of the timed region
+    config = TransEConfig(embedding_dim=profile.transe_dim,
+                          epochs=profile.transe_epochs, seed=profile.seed)
+    vectorised, reference = _median_ab(
+        lambda: train_transe(graph, config),
+        lambda: train_transe_reference(graph, config),
+        profile.repeats)
+    return {
+        "vectorised_epochs_per_s": profile.transe_epochs / vectorised,
+        "reference_epochs_per_s": profile.transe_epochs / reference,
+        "vectorised_epoch_ms": vectorised / profile.transe_epochs * 1000.0,
+        "reference_epoch_ms": reference / profile.transe_epochs * 1000.0,
+        "speedup": reference / vectorised,
+    }
+
+
+def bench_rollouts(result: PipelineResult, profile: BenchProfile) -> Dict[str, float]:
+    """DARL REINFORCE rollouts per second (trend metric, no reference pair)."""
+    from ..pipeline.stages import _entity_train_items
+
+    positives = _entity_train_items(result.context)
+    users = dict(list(positives.items())[: profile.rollout_users])
+    episodes = max(len(users), 1)
+
+    def run() -> None:
+        trainer = DARLTrainer(result.graph, result.context.category_graph,
+                              result.representations,
+                              DARLConfig(epochs=1, seed=profile.seed,
+                                         max_path_length=6))
+        trainer.train(users)
+
+    elapsed = _median(run, max(profile.repeats - 2, 1))
+    return {"episodes_per_s": episodes / elapsed, "episodes": float(episodes)}
+
+
+def _service_pair(result: PipelineResult,
+                  profile: BenchProfile) -> Tuple[RecommendationService,
+                                                  RecommendationService]:
+    """Two serving facades over the same artifacts: vectorised and scalar."""
+    cadrl = result.cadrl
+    recommender = cadrl.recommender
+    scalar = ScalarPathRecommender(
+        cadrl.graph, cadrl.category_graph, cadrl.representations,
+        recommender.policy, guidance=recommender.guidance,
+        max_path_length=recommender.max_path_length,
+        max_entity_actions=recommender.entity_environment.max_actions,
+        max_category_actions=recommender.category_environment.max_actions,
+        use_dual_agent=recommender.use_dual_agent,
+        config=recommender.config)
+    serving_config = ServingConfig(cache_capacity=max(4 * profile.beam_users, 64))
+    vectorised_service = RecommendationService.from_cadrl(
+        cadrl, transe=result.transe, config=serving_config,
+        name="bench (vectorised)")
+    scalar_service = RecommendationService(
+        cadrl.graph, cadrl.category_graph, cadrl.representations,
+        recommender.policy, recommender=scalar, transe=result.transe,
+        config=serving_config, name="bench (scalar reference)")
+    return vectorised_service, scalar_service
+
+
+def _reset_serving_state(service: RecommendationService,
+                         keep_model_caches: bool) -> None:
+    """Empty the result cache; optionally also the model-side caches."""
+    service.cache.clear()
+    if not keep_model_caches:
+        recommender = service.recommender
+        recommender.clear_milestone_cache()
+        environment = recommender.entity_environment
+        environment._action_cache.clear()
+        environment._array_cache.clear()
+        environment._matrix_cache.clear()
+
+
+def bench_beam_search(result: PipelineResult,
+                      profile: BenchProfile) -> Dict[str, Dict[str, float]]:
+    """Cold & warm beam-search QPS through the serving facade, both engines."""
+    graph = result.graph
+    users = graph.entities.ids_of_type(EntityType.USER)[: profile.beam_users]
+    vectorised_service, scalar_service = _service_pair(result, profile)
+
+    def burst(service: RecommendationService, keep_model_caches: bool
+              ) -> Callable[[], None]:
+        def run() -> None:
+            _reset_serving_state(service, keep_model_caches=keep_model_caches)
+            service.serve_many(service.build_requests(users,
+                                                      top_k=profile.beam_top_k))
+        return run
+
+    cold_vec, cold_ref = _median_ab(burst(vectorised_service, False),
+                                    burst(scalar_service, False),
+                                    profile.repeats)
+    # Warm: model-side caches stay hot, only the result cache is dropped so
+    # every request really runs the beam search again.
+    warm_vec, warm_ref = _median_ab(burst(vectorised_service, True),
+                                    burst(scalar_service, True),
+                                    profile.repeats)
+    count = len(users)
+    return {
+        "beam_cold": {"vectorised_qps": count / cold_vec,
+                      "reference_qps": count / cold_ref,
+                      "speedup": cold_ref / cold_vec},
+        "beam_warm": {"vectorised_qps": count / warm_vec,
+                      "reference_qps": count / warm_ref,
+                      "speedup": warm_ref / warm_vec},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# orchestration
+# --------------------------------------------------------------------------- #
+def build_stack(profile: BenchProfile,
+                artifacts: Optional[Union[str, Path]] = None) -> PipelineResult:
+    """The trained stack the macro benchmarks run against.
+
+    Built through the standard pipeline (``data → … → train``) so the bench
+    exercises exactly what ``python -m repro run`` produces; pass
+    ``artifacts`` to reuse a persisted pipeline directory instead.
+    """
+    if artifacts is not None:
+        from ..pipeline import load_pipeline
+
+        return load_pipeline(artifacts, until=("train",))
+    return Pipeline(profile.run_config()).run(until=("train",))
+
+
+def run_bench(profile: Union[str, BenchProfile],
+              artifacts: Optional[Union[str, Path]] = None,
+              now: Optional[datetime] = None) -> Dict:
+    """Run every benchmark of ``profile`` and return the result document."""
+    if isinstance(profile, str):
+        try:
+            profile = PROFILES[profile]
+        except KeyError:
+            raise ValueError(f"unknown bench profile {profile!r}; "
+                             f"choose from {sorted(PROFILES)}") from None
+    profile.validate()
+    now = now or datetime.now(timezone.utc)
+
+    build_start = time.perf_counter()
+    result = build_stack(profile, artifacts)
+    build_elapsed = time.perf_counter() - build_start
+
+    metrics: Dict[str, Dict[str, float]] = {}
+    metrics["transe"] = bench_transe(result, profile)
+    metrics["rollouts"] = bench_rollouts(result, profile)
+    metrics.update(bench_beam_search(result, profile))
+
+    return {
+        "meta": {
+            "timestamp": now.strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "profile": profile.name,
+            "seed": profile.seed,
+            "dataset": profile.dataset,
+            "scale": profile.scale,
+            "stack_build_s": round(build_elapsed, 3),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "metrics": metrics,
+        "gated": list(GATED_METRICS),
+    }
+
+
+def write_bench_json(document: Dict, out_dir: Union[str, Path]) -> Path:
+    """Persist one bench run as ``BENCH_<timestamp>.json`` under ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = document["meta"]["timestamp"].replace(":", "").replace("-", "")
+    path = out_dir / f"BENCH_{stamp}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _lookup(metrics: Dict, dotted: str) -> Optional[float]:
+    node = metrics
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+@dataclass
+class Regression:
+    """One gated metric that fell below its allowed floor."""
+
+    metric: str
+    current: float
+    baseline: float
+    allowed: float
+
+    def describe(self) -> str:
+        return (f"{self.metric}: {self.current:.2f} < allowed {self.allowed:.2f} "
+                f"(baseline {self.baseline:.2f})")
+
+
+def compare_with_baseline(document: Dict, baseline: Dict,
+                          threshold: float = 0.30) -> List[Regression]:
+    """Gated-ratio comparison: current must stay within ``threshold`` of baseline.
+
+    Only the dimensionless speedup ratios are gated — they survive machine
+    changes, unlike absolute QPS.  A metric missing on either side is skipped
+    (new benchmarks must not fail old baselines and vice versa).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie strictly between 0 and 1")
+    regressions: List[Regression] = []
+    for metric in GATED_METRICS:
+        current = _lookup(document.get("metrics", {}), metric)
+        reference = _lookup(baseline.get("metrics", {}), metric)
+        if current is None or reference is None:
+            continue
+        allowed = reference * (1.0 - threshold)
+        if current < allowed:
+            regressions.append(Regression(metric=metric, current=current,
+                                          baseline=reference, allowed=allowed))
+    return regressions
+
+
+def load_baseline(path: Union[str, Path]) -> Dict:
+    """Read a committed baseline (or any previous ``BENCH_*.json``)."""
+    return json.loads(Path(path).read_text())
+
+
+def default_baseline_path(profile_name: str,
+                          root: Optional[Union[str, Path]] = None) -> Path:
+    """Where the committed baseline for a profile lives.
+
+    With no explicit ``root`` the working directory is tried first, then the
+    repository checkout this module lives in — so ``python -m repro bench``
+    finds the committed baseline regardless of the invocation directory.
+    """
+    name = f"bench_baseline_{profile_name}.json"
+    if root is not None:
+        return Path(root) / name
+    candidates = (Path("benchmarks") / name,
+                  Path(__file__).resolve().parents[3] / "benchmarks" / name)
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return candidates[0]
+
+
+def render_report(document: Dict) -> str:
+    """Human-readable summary of one bench run."""
+    metrics = document["metrics"]
+    meta = document["meta"]
+    lines = [
+        f"bench profile={meta['profile']} dataset={meta['dataset']} "
+        f"scale={meta['scale']} seed={meta['seed']} "
+        f"(stack build {meta['stack_build_s']:.1f}s)",
+        f"  transe     {metrics['transe']['vectorised_epochs_per_s']:8.1f} epochs/s "
+        f"(reference {metrics['transe']['reference_epochs_per_s']:.1f}, "
+        f"speedup {metrics['transe']['speedup']:.2f}x)",
+        f"  rollouts   {metrics['rollouts']['episodes_per_s']:8.1f} episodes/s",
+        f"  beam cold  {metrics['beam_cold']['vectorised_qps']:8.1f} QPS "
+        f"(reference {metrics['beam_cold']['reference_qps']:.1f}, "
+        f"speedup {metrics['beam_cold']['speedup']:.2f}x)",
+        f"  beam warm  {metrics['beam_warm']['vectorised_qps']:8.1f} QPS "
+        f"(reference {metrics['beam_warm']['reference_qps']:.1f}, "
+        f"speedup {metrics['beam_warm']['speedup']:.2f}x)",
+    ]
+    return "\n".join(lines)

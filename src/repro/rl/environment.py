@@ -8,8 +8,9 @@ beam-search inference and vectorised training rollouts straightforward.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Generic, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 
@@ -17,8 +18,51 @@ from ..cggnn.model import Representations
 from ..kg.category_graph import CategoryGraph
 from ..kg.entities import EntityType
 from ..kg.graph import KnowledgeGraph
-from ..kg.pruning import Action, category_guided_prune, degree_prune, ensure_self_loop
-from ..kg.relations import Relation
+from ..kg.pruning import (
+    ActionArrays,
+    Action,
+    category_guided_prune_arrays,
+    degree_prune_arrays,
+    ensure_self_loop_arrays,
+    entity_prune_rng,
+)
+from ..kg.relations import RELATION_LIST, relation_index
+
+_V = TypeVar("_V")
+
+
+class LRUCache(Generic[_V]):
+    """Tiny bounded mapping with least-recently-used eviction.
+
+    The entity environment's action/matrix caches used to be plain dicts that
+    grew one entry per distinct ``(entity, milestone)`` pair for the lifetime
+    of the process — unbounded in a long-running serving deployment.  This
+    cache bounds them while keeping the hot entries resident.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Tuple, _V]" = OrderedDict()
+
+    def get(self, key: Tuple) -> Optional[_V]:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Tuple, value: _V) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
 
 
 @dataclass
@@ -44,18 +88,26 @@ class EntityEnvironment:
     """The entity agent's view of the KG (action space ``A^e``)."""
 
     def __init__(self, graph: KnowledgeGraph, representations: Representations,
-                 max_actions: int = 50, rng: Optional[np.random.Generator] = None) -> None:
+                 max_actions: int = 50, rng: Optional[np.random.Generator] = None,
+                 cache_capacity: int = 65536) -> None:
         if max_actions <= 0:
             raise ValueError("max_actions must be positive")
         self.graph = graph
         self.representations = representations
         self.max_actions = max_actions
         self.rng = rng or np.random.default_rng(0)
-        # Pruned-action and action-matrix caches.  Both are keyed by the
-        # (entity, guided category) pair; the KG and the representations are
-        # frozen during an RL stage, so the cached values never go stale.
-        self._action_cache: Dict[Tuple[int, Optional[int]], List[Action]] = {}
-        self._matrix_cache: Dict[Tuple[int, Optional[int]], np.ndarray] = {}
+        # Degree-pruning tie-breaks draw from a per-entity substream derived
+        # from (prune_seed, entity_id), so an entity's action set never depends
+        # on the order in which entities were first visited.  The base seed is
+        # drawn once from the caller's generator: same seed in, same substreams.
+        self._prune_seed = int(self.rng.integers(np.iinfo(np.int64).max))
+        # Pruned-action and action-matrix caches.  Keyed by the (entity,
+        # guided category) pair — the KG and the representations are frozen
+        # during an RL stage, so entries never go stale — and LRU-bounded so a
+        # long-lived serving process cannot grow them without limit.
+        self._action_cache: LRUCache[List[Action]] = LRUCache(cache_capacity)
+        self._array_cache: LRUCache[ActionArrays] = LRUCache(cache_capacity)
+        self._matrix_cache: LRUCache[np.ndarray] = LRUCache(cache_capacity)
 
     # -- state/action representations ---------------------------------- #
     def state_vector(self, state: EntityState) -> np.ndarray:
@@ -74,16 +126,50 @@ class EntityEnvironment:
         ])
 
     def action_matrix(self, actions: Sequence[Action],
-                      cache_key: Optional[Tuple[int, Optional[int]]] = None) -> np.ndarray:
-        """Stacked action vectors, shape ``(len(actions), 2 * dim)``."""
-        if cache_key is not None and cache_key in self._matrix_cache:
-            return self._matrix_cache[cache_key]
-        matrix = np.stack([self.action_vector(action) for action in actions])
+                      cache_key: Optional[Tuple] = None) -> np.ndarray:
+        """Stacked action vectors, shape ``(len(actions), 2 * dim)``.
+
+        Built with two table gathers instead of one concatenation per action.
+        """
         if cache_key is not None:
-            self._matrix_cache[cache_key] = matrix
+            cached = self._matrix_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        relation_rows = np.array([relation_index(rel) for rel, _ in actions],
+                                 dtype=np.int64)
+        target_rows = np.array([target for _, target in actions], dtype=np.int64)
+        matrix = np.concatenate([self.representations.relation[relation_rows],
+                                 self.representations.entity[target_rows]], axis=1)
+        if cache_key is not None:
+            self._matrix_cache.put(cache_key, matrix)
         return matrix
 
     # -- action enumeration --------------------------------------------- #
+    def action_arrays(self, entity_id: int,
+                      target_category: Optional[int] = None) -> ActionArrays:
+        """Pruned ``(relation_index, target)`` arrays for one entity.
+
+        This is the hot-path form the vectorised beam search consumes: the
+        arrays are *unfiltered* (the per-user return-to-user ban is applied by
+        the caller, so the cache stays shareable across users) and always end
+        with the self-loop appended when missing.
+        """
+        key = (entity_id, target_category)
+        cached = self._array_cache.get(key)
+        if cached is not None:
+            return cached
+        adjacency = self.graph.adjacency()
+        if target_category is None:
+            arrays = degree_prune_arrays(
+                adjacency, entity_id, self.max_actions,
+                rng=entity_prune_rng(self._prune_seed, entity_id))
+        else:
+            arrays = category_guided_prune_arrays(adjacency, entity_id,
+                                                  self.max_actions, target_category)
+        arrays = ensure_self_loop_arrays(arrays, entity_id)
+        self._array_cache.put(key, arrays)
+        return arrays
+
     def actions(self, state: EntityState, target_category: Optional[int] = None,
                 forbid_return_to_user: bool = True) -> List[Action]:
         """Valid pruned actions from ``state``.
@@ -93,24 +179,21 @@ class EntityEnvironment:
         available so the agent can terminate early.
         """
         cache_key = (state.current_entity, target_category)
-        if forbid_return_to_user and cache_key in self._action_cache:
-            cached = self._action_cache[cache_key]
-            return [action for action in cached
-                    if not (action[1] == state.user_entity
-                            and state.current_entity != state.user_entity)]
-        if target_category is None:
-            candidates = degree_prune(self.graph, state.current_entity, self.max_actions,
-                                      rng=self.rng)
-        else:
-            candidates = category_guided_prune(self.graph, state.current_entity,
-                                               self.max_actions, target_category)
-        candidates = ensure_self_loop(candidates, state.current_entity)
+        candidates = self._action_cache.get(cache_key)
+        if candidates is None:
+            relations, targets = self.action_arrays(state.current_entity,
+                                                    target_category)
+            candidates = [(RELATION_LIST[relation], target)
+                          for relation, target in zip(relations.tolist(),
+                                                      targets.tolist())]
+            self._action_cache.put(cache_key, candidates)
         if forbid_return_to_user:
-            self._action_cache[cache_key] = candidates
             return [action for action in candidates
                     if not (action[1] == state.user_entity
                             and state.current_entity != state.user_entity)]
-        return candidates
+        # Fresh list: callers may mutate their copy without corrupting the
+        # shared LRU cache entry.
+        return list(candidates)
 
     def step(self, state: EntityState, action: Action) -> EntityState:
         """Deterministic transition: move to the action's target entity."""

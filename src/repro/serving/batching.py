@@ -1,21 +1,17 @@
 """Micro-batching: deduplicate users and vectorise the shared rollout work.
 
 ``PathRecommender.recommend`` spends its time in two places: the greedy
-category-milestone rollout (one LSTM + MLP call per hop) and the entity-level
-beam search.  Across a batch of requests the milestone rollouts are
-embarrassingly batchable — every user advances in lock-step for exactly
-``max_path_length`` hops — so :func:`batched_category_milestones` runs them as
-``(batch, dim)`` matrix products against the shared policy and seeds the
-recommender's milestone cache.  The beam search itself then reuses the cached
-trajectories (and the entity environment's shared action-matrix caches), and
-duplicate request keys collapse into a single search via the result cache.
+category-milestone rollout and the entity-level beam search.  Both are batched
+inside :mod:`repro.darl.inference` nowadays — the milestone rollouts advance
+every user in lock-step as ``(batch, dim)`` matrix products, and the beam
+search expands the whole frontier per depth — so this module is a thin
+serving-side veneer: it deduplicates the users of a request burst and seeds
+the recommender's milestone cache before the per-request loop runs.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
-
-import numpy as np
 
 from ..darl.inference import PathRecommender
 
@@ -25,47 +21,11 @@ def batched_category_milestones(recommender: PathRecommender,
                                 ) -> Dict[int, List[Optional[int]]]:
     """Greedy milestone trajectories for many users in one vectorised rollout.
 
-    Mirrors ``PathRecommender._category_milestones`` step for step, but runs
-    the LSTM history encoding and the policy-query MLP for the whole batch at
-    once; only the per-user action enumeration and argmax stay in Python (the
-    action sets have different sizes per user).
+    Kept as a public serving helper; the implementation lives on the
+    recommender itself (:meth:`PathRecommender._batched_category_milestones`)
+    so batched inference does not depend on the serving layer.
     """
-    users = list(dict.fromkeys(users))
-    length = recommender.max_path_length
-    if not users:
-        return {}
-    if not recommender.use_dual_agent:
-        return {user: [None] * length for user in users}
-
-    environment = recommender.category_environment
-    policy = recommender.policy
-    representations = recommender.representations
-
-    starts = [environment.start_category_for(user) for user in users]
-    states = [environment.initial_state(user, start)
-              for user, start in zip(users, starts)]
-    lstm_state = policy.initial_state_numpy(batch_size=len(users))
-    start_vectors = np.stack([representations.category_vector(s) for s in starts])
-    hidden, lstm_state = policy.encode_category_step_numpy(start_vectors, None, lstm_state)
-    user_vectors = np.stack([representations.entity_vector(u) for u in users])
-
-    milestones: Dict[int, List[Optional[int]]] = {user: [] for user in users}
-    for _ in range(length):
-        current_vectors = np.stack([
-            representations.category_vector(state.current_category) for state in states])
-        queries = policy.category_query_numpy(user_vectors, current_vectors, hidden)
-        chosen: List[int] = []
-        for index, state in enumerate(states):
-            actions = environment.actions(state)
-            logits = environment.action_matrix(actions) @ queries[index]
-            category = actions[int(np.argmax(logits))]
-            chosen.append(category)
-            milestones[users[index]].append(category)
-            states[index] = environment.step(state, category)
-        chosen_vectors = np.stack([representations.category_vector(c) for c in chosen])
-        hidden, lstm_state = policy.encode_category_step_numpy(chosen_vectors, hidden,
-                                                               lstm_state)
-    return milestones
+    return recommender._batched_category_milestones(users)
 
 
 class MicroBatcher:
@@ -80,14 +40,4 @@ class MicroBatcher:
         Returns the number of users actually rolled out; users already cached
         (or duplicated within ``users``) cost nothing.
         """
-        missing = [user for user in dict.fromkeys(users)
-                   if user not in self.recommender.milestone_cache]
-        if not missing:
-            return 0
-        if len(missing) == 1:
-            self.recommender.category_milestones(missing[0])
-            return 1
-        for user, milestones in batched_category_milestones(self.recommender,
-                                                            missing).items():
-            self.recommender.store_milestones(user, milestones)
-        return len(missing)
+        return self.recommender.warm_milestones(users)

@@ -223,8 +223,17 @@ class RecommendationService:
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
-    def serve(self, request: RecommendationRequest) -> RecommendationResponse:
-        """Answer one request through cache → tier selection → ranking."""
+    def serve(self, request: RecommendationRequest,
+              _precomputed_full: Optional[List[RecommendationPath]] = None,
+              _precomputed_cost_ms: float = 0.0) -> RecommendationResponse:
+        """Answer one request through cache → tier selection → ranking.
+
+        ``_precomputed_full`` carries a full-search result computed by
+        :meth:`serve_many`'s batched frontier search; it is only consumed if
+        this request independently lands on the full tier, and its per-request
+        share of the batch cost (``_precomputed_cost_ms``) feeds the tier cost
+        estimator exactly like an inline search would.
+        """
         start = self._clock()
         key = request.cache_key()
         paths: Sequence[RecommendationPath] = ()
@@ -236,9 +245,12 @@ class RecommendationService:
             cache_hit = False
             tier = self.tiers.choose(request, stale_available=self.cache.has_stale(key))
             if tier is ServingTier.FULL:
-                full = self.recommender.recommend(
-                    request.user_entity, exclude_items=set(request.exclude_items),
-                    top_k=request.top_k)
+                if _precomputed_full is not None:
+                    full = _precomputed_full
+                else:
+                    full = self.recommender.recommend(
+                        request.user_entity, exclude_items=set(request.exclude_items),
+                        top_k=request.top_k)
                 items = [path.item_entity for path in full]
                 paths = full
                 source_tier = ServingTier.FULL
@@ -246,7 +258,8 @@ class RecommendationService:
                 # lists, so a caller mutating them cannot corrupt the cache.
                 self.cache.put(key, CachedResult(tuple(items), tuple(paths),
                                                  ServingTier.FULL))
-                self.tiers.observe_full_search((self._clock() - start) * 1000.0)
+                self.tiers.observe_full_search(
+                    _precomputed_cost_ms + (self._clock() - start) * 1000.0)
             elif tier is ServingTier.STALE:
                 stale = self.cache.get_stale(key)
                 items, paths, source_tier = stale.items, stale.paths, stale.source_tier
@@ -271,24 +284,50 @@ class RecommendationService:
                    ) -> List[RecommendationResponse]:
         """Answer a burst of requests with dedup + vectorised shared work.
 
-        Unique uncached full-tier users get one batched milestone rollout; the
-        per-request loop then reuses those trajectories, and duplicate request
-        keys collapse into cache hits after the first computation (full-search
-        and cold-user results are cached; over-budget stale/embedding answers
-        for warm users are not, so their keys stay free for a full result).
+        Unique uncached full-tier requests are answered by **one** batched
+        frontier search (milestone rollout and beam expansion advance in
+        lock-step across the whole burst); the per-request loop consumes those
+        precomputed results under the normal tier/cache bookkeeping, and
+        duplicate request keys collapse into cache hits after the first
+        computation (full-search and cold-user results are cached; over-budget
+        stale/embedding answers for warm users are not, so their keys stay
+        free for a full result).
         """
-        full_tier_users: List[int] = []
+        full_requests: List[RecommendationRequest] = []
         seen_keys = set()
         for request in requests:
             key = request.cache_key()
             if key in seen_keys or self.cache.has(key):
                 continue
             seen_keys.add(key)
+            if request.latency_budget_ms is not None:
+                # Budgeted requests keep the per-request path: their tier is
+                # decided at serve time against the *current* cost estimate,
+                # so a mid-burst downgrade still avoids the full search
+                # instead of discarding an eagerly computed one.
+                continue
             tier = self.tiers.choose(request, stale_available=self.cache.has_stale(key))
             if tier is ServingTier.FULL:
-                full_tier_users.append(request.user_entity)
-        self.batcher.warm_milestones(full_tier_users)
-        return [self.serve(request) for request in requests]
+                full_requests.append(request)
+
+        precomputed: Dict[CacheKey, List[RecommendationPath]] = {}
+        share_ms = 0.0
+        if len(full_requests) > 1:
+            start = self._clock()
+            batched = self.recommender.recommend_requests(
+                [(request.user_entity, set(request.exclude_items), request.top_k)
+                 for request in full_requests])
+            share_ms = (self._clock() - start) * 1000.0 / len(full_requests)
+            precomputed = {request.cache_key(): paths
+                           for request, paths in zip(full_requests, batched)}
+        elif full_requests:
+            self.batcher.warm_milestones([request.user_entity
+                                          for request in full_requests])
+        return [self.serve(request,
+                           _precomputed_full=precomputed.get(request.cache_key()),
+                           _precomputed_cost_ms=share_ms
+                           if request.cache_key() in precomputed else 0.0)
+                for request in requests]
 
     def warm_up(self, user_entities: Sequence[int], top_k: Optional[int] = None
                 ) -> List[RecommendationResponse]:
