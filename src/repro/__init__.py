@@ -22,6 +22,11 @@ Public API highlights
 * :mod:`repro.simulate` — deterministic traffic simulation: seeded workload
   traces (Zipf popularity, cold-start, bursty arrivals), an open/closed-loop
   replay driver and correctness oracles over the serving stack.
+* :mod:`repro.cluster` — sharded, replicated multi-worker serving: a
+  consistent-hash router over N shard workers with R-way replication,
+  deterministic failover, admission control (overflow → replicas, saturation
+  → shed) and exact cluster-wide telemetry, behind the same
+  ``serve``/``serve_many`` facade as a single service.
 * :mod:`repro.perf` — the performance rail: seeded benchmarks
   (``python -m repro bench``), frozen scalar reference implementations of the
   vectorised hot paths, and the baseline-JSON regression gate.
@@ -38,6 +43,7 @@ __version__ = "0.1.0"
 _SUBPACKAGES = (
     "baselines",
     "cggnn",
+    "cluster",
     "darl",
     "data",
     "embeddings",

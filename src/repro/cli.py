@@ -19,6 +19,11 @@ Commands
 ``simulate``
     Replay a seeded synthetic workload (``repro.simulate``) against the
     serving stack and verify the answers with the correctness oracles.
+    ``--shards N --replicas R`` serves through a :mod:`repro.cluster`
+    topology instead of a single service, ``--fail-shard K`` injects a
+    deterministic boot-time shard failure, and the replay runs in virtual
+    time by default, so the same ``--seed`` reproduces the identical result
+    signature bit for bit.
 ``experiments``
     Run the paper's tables/figures (replaces the old ad-hoc
     ``repro.experiments.runner`` argparse).
@@ -37,6 +42,7 @@ Examples
     python -m repro eval --artifacts artifacts/smoke
     python -m repro serve-demo --artifacts artifacts/smoke
     python -m repro simulate --artifacts artifacts/smoke --requests 500
+    python -m repro simulate --shards 4 --replicas 2 --fail-shard 1 --seed 7
     python -m repro experiments --profile smoke --only table1 fig5
     python -m repro bench --profile smoke --out benchmarks
 """
@@ -177,6 +183,7 @@ def _command_serve_demo(arguments: argparse.Namespace) -> int:
 def _command_simulate(arguments: argparse.Namespace) -> int:
     from .simulate import (
         ReplayDriver,
+        TraceClock,
         UserPopulation,
         WorkloadConfig,
         generate_workload,
@@ -186,20 +193,97 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     )
 
     result = _result_for_serving(arguments)
-    service = result.service()
+    config = result.config
+
+    # Topology: CLI flags override the run's persisted cluster spec.
+    shards = (arguments.shards if arguments.shards is not None
+              else config.cluster.num_shards)
+    failed_shards = tuple(arguments.fail_shard or ())
+    if failed_shards:
+        bad = [shard for shard in failed_shards if not 0 <= shard < shards]
+        if bad:
+            raise SystemExit(
+                f"error: --fail-shard {bad} outside the {shards}-shard "
+                f"topology; pass --shards N with N > {max(failed_shards)}")
+        if set(failed_shards) >= set(range(shards)):
+            raise SystemExit(
+                "error: --fail-shard would take every shard down; "
+                "leave at least one healthy (or raise --shards)")
+    clustered = shards > 1 or bool(failed_shards)
+    if arguments.replicas is not None:
+        replicas = arguments.replicas
+    elif arguments.shards is None:
+        replicas = config.cluster.replication_factor
+    else:
+        replicas = min(2, shards)
+
+    # Virtual time (default) pins the replay to the trace's timeline, so the
+    # whole run — tier choices, failover, the result signature — is a pure
+    # function of the seeds; --wall-clock opts into real latencies instead.
+    clock = None if arguments.wall_clock else TraceClock()
+    service_kwargs = {"clock": clock} if clock is not None else {}
+    if arguments.cache_capacity is not None:
+        import dataclasses
+
+        service_kwargs["serving_config"] = dataclasses.replace(
+            config.serving, cache_capacity=arguments.cache_capacity)
+    if clustered:
+        from .cluster import ClusterConfig
+
+        cluster_config = ClusterConfig(
+            num_shards=shards,
+            replication_factor=min(replicas, shards),
+            virtual_nodes=config.cluster.virtual_nodes,
+            max_queue_per_shard=config.cluster.max_queue_per_shard,
+            seed=config.cluster.seed,
+            failed_shards=failed_shards)
+        service = result.cluster_service(cluster_config=cluster_config,
+                                         **service_kwargs)
+        print(f"cluster: {shards} shards × {cluster_config.replication_factor} "
+              f"replicas"
+              + (f", failed at boot: {sorted(failed_shards)}" if failed_shards
+                 else ""))
+    else:
+        service = result.service(**service_kwargs)
+
+    # An explicit --workload-seed wins; otherwise the master --seed drives
+    # workload generation too, so one flag reproduces the entire replay.
+    workload_seed = (arguments.workload_seed if arguments.workload_seed is not None
+                     else arguments.seed)
     population = UserPopulation.from_graph(service.graph)
     workload_config = WorkloadConfig(num_requests=arguments.requests,
-                                     seed=arguments.workload_seed,
+                                     seed=workload_seed,
                                      arrival=arguments.arrival)
     workload = generate_workload(population, workload_config, service.graph)
     print(f"workload: {len(workload)} requests over {workload.duration_s:.2f}s "
-          f"of trace time (signature {workload.signature()[:16]}…)")
+          f"of trace time, seed {workload_seed} "
+          f"(signature {workload.signature()[:16]}…)")
 
-    replay = ReplayDriver(service).replay(workload)
+    replay = ReplayDriver(service, clock=clock).replay(workload)
     reports = run_oracles(service, replay.records,
                           full_search_sample=arguments.oracle_sample, seed=0)
+    summary = summarize(replay, reports)
+    summary["workload_seed"] = workload_seed
+    summary["replay_signature"] = replay.signature()
+    if clustered:
+        snapshot = service.telemetry_snapshot()
+        summary["routing"] = snapshot["routing"]
+        summary["admission"] = snapshot["admission"]
+        summary["health"] = snapshot["health"]
+        summary["topology"] = snapshot["topology"]
     print()
-    print(render_report(summarize(replay, reports)))
+    print(render_report(summary))
+    if clustered:
+        routing = summary["routing"]
+        print(f"routing             "
+              + "  ".join(f"{key}={routing[key]}"
+                          for key in ("primary", "failover", "overflow", "shed")))
+    print(f"replay signature    {replay.signature()[:32]}…")
+    if arguments.summary_json is not None:
+        arguments.summary_json.parent.mkdir(parents=True, exist_ok=True)
+        arguments.summary_json.write_text(
+            json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"wrote summary to {arguments.summary_json}")
     failed = [report for report in reports if not report.ok]
     for report in failed:
         print(f"ORACLE FAILED: {report.summary()}")
@@ -304,10 +388,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(simulate)
     simulate.add_argument("--artifacts", type=Path, default=None, metavar="DIR")
     simulate.add_argument("--requests", type=int, default=500)
-    simulate.add_argument("--workload-seed", type=int, default=7, dest="workload_seed")
+    simulate.add_argument("--workload-seed", type=int, default=None,
+                          dest="workload_seed",
+                          help="workload generation seed (default: --seed, so "
+                               "one flag reproduces the whole replay)")
     simulate.add_argument("--arrival", default="bursty",
                           choices=("uniform", "poisson", "bursty"))
     simulate.add_argument("--oracle-sample", type=int, default=50, dest="oracle_sample")
+    simulate.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="serve through an N-shard cluster "
+                               "(default: the run config's cluster spec)")
+    simulate.add_argument("--replicas", type=int, default=None, metavar="R",
+                          help="replication factor (default: min(2, N) when "
+                               "--shards is given)")
+    simulate.add_argument("--fail-shard", type=int, action="append",
+                          default=None, dest="fail_shard", metavar="K",
+                          help="mark shard K DOWN at boot (repeatable) — "
+                               "deterministic failover injection")
+    simulate.add_argument("--wall-clock", action="store_true",
+                          help="measure real latencies instead of the "
+                               "deterministic virtual-time replay")
+    simulate.add_argument("--cache-capacity", type=int, default=None,
+                          dest="cache_capacity", metavar="N",
+                          help="override the per-service result-cache "
+                               "capacity (cache-pressure experiments: each "
+                               "shard owns its own cache of this size)")
+    simulate.add_argument("--summary-json", type=Path, default=None,
+                          dest="summary_json", metavar="FILE",
+                          help="dump the machine-readable replay summary")
     simulate.set_defaults(handler=_command_simulate)
 
     bench = commands.add_parser("bench",

@@ -1,0 +1,59 @@
+"""Sharded, replicated multi-worker serving with deterministic failover.
+
+The ROADMAP's next step past a fast single node: run N shard workers — each
+an independent :class:`repro.serving.RecommendationService` with its own
+cache, micro-batcher and telemetry over the shared frozen artifacts — behind
+a consistent-hash router with R-way replication, seeded failure injection,
+admission control and cluster-wide telemetry:
+
+* :class:`ConsistentHashRing` — user-keyed ring with virtual nodes; stable
+  under shard add/remove (bounded key churn), deterministic across processes.
+* :class:`HealthModel` / :func:`random_schedule` — shard status registry with
+  clock-driven scripted transitions and seeded chaos schedules.
+* :class:`AdmissionController` — per-shard queue bounds per dispatch burst;
+  overflow spills to replicas, saturation sheds to the fallback tier chain.
+* :class:`ClusterTelemetry` — exact cluster percentiles/QPS/tier mix merged
+  from the shards' raw telemetry windows.
+* :class:`ClusterService` — the facade: same ``serve``/``serve_many`` surface
+  as a single service, so :class:`repro.simulate.ReplayDriver` and the whole
+  oracle battery run against a cluster unchanged.
+
+Typical use::
+
+    cluster = ClusterService.from_cadrl(
+        model, transe=transe,
+        config=ClusterConfig(num_shards=4, replication_factor=2))
+    cluster.health.fail(1)                      # deterministic failover
+    responses = cluster.serve_many(requests)    # 100% still served
+    print(cluster.telemetry_snapshot()["routing"])
+"""
+
+from .admission import AdmissionController, AdmissionStats
+from .config import ClusterConfig
+from .health import HealthEvent, HealthModel, ShardStatus, random_schedule
+from .ring import ConsistentHashRing, stable_hash64
+from .service import (
+    ClusterService,
+    ClusterUnavailableError,
+    RoutingStats,
+    ShardWorker,
+)
+from .telemetry import ClusterTelemetry, merge_telemetry_states
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "ClusterConfig",
+    "ClusterService",
+    "ClusterTelemetry",
+    "ClusterUnavailableError",
+    "ConsistentHashRing",
+    "HealthEvent",
+    "HealthModel",
+    "RoutingStats",
+    "ShardStatus",
+    "ShardWorker",
+    "merge_telemetry_states",
+    "random_schedule",
+    "stable_hash64",
+]

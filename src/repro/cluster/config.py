@@ -1,0 +1,56 @@
+"""The declarative cluster specification.
+
+Kept dependency-free (a plain dataclass) so :mod:`repro.pipeline.config` can
+embed it in :class:`~repro.pipeline.RunConfig` and round-trip it through JSON
+with the same machinery as every other config section.  The default spec is a
+single unreplicated shard — i.e. exactly the pre-cluster behaviour — so
+existing configurations, artifacts and entry points are unaffected until a
+caller asks for ``num_shards > 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass
+class ClusterConfig:
+    """Topology and routing knobs of a :class:`~repro.cluster.ClusterService`.
+
+    ``failed_shards`` marks shards ``DOWN`` at boot — the deterministic
+    failure-injection hook behind ``python -m repro simulate --fail-shard``;
+    ``seed`` fixes the hash-ring geometry (which users live on which shard).
+    """
+
+    num_shards: int = 1
+    replication_factor: int = 1
+    virtual_nodes: int = 64
+    max_queue_per_shard: int = 256
+    seed: int = 0
+    failed_shards: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.failed_shards, tuple):
+            self.failed_shards = tuple(self.failed_shards)
+
+    def validate(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if not 1 <= self.replication_factor <= self.num_shards:
+            raise ValueError("replication_factor must lie in [1, num_shards]")
+        if self.virtual_nodes <= 0:
+            raise ValueError("virtual_nodes must be positive")
+        if self.max_queue_per_shard <= 0:
+            raise ValueError("max_queue_per_shard must be positive")
+        bad = [shard for shard in self.failed_shards
+               if not 0 <= shard < self.num_shards]
+        if bad:
+            raise ValueError(f"failed_shards {bad} outside [0, {self.num_shards})")
+        if len(set(self.failed_shards)) != len(self.failed_shards):
+            raise ValueError("failed_shards must be distinct")
+
+    @property
+    def is_clustered(self) -> bool:
+        """Whether this spec asks for more than the single-service default."""
+        return self.num_shards > 1

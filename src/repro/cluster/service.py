@@ -1,0 +1,367 @@
+"""The cluster facade: sharded, replicated serving with deterministic failover.
+
+``ClusterService`` runs N shard workers — each an independent
+:class:`repro.serving.RecommendationService` with its own result cache,
+micro-batcher and telemetry over the *shared* frozen artifacts — behind a
+consistent-hash router:
+
+1. a request's user keys into the ring; its replica chain is the primary
+   shard followed by ``replication_factor - 1`` distinct backups;
+2. unavailable shards (per the :class:`~repro.cluster.health.HealthModel`)
+   are skipped, so a failed primary deterministically fails over to its first
+   healthy replica — and because every shard searches the same frozen
+   policy/representations, the failover answer is *identical* to the one the
+   primary would have served;
+3. the :class:`~repro.cluster.admission.AdmissionController` bounds how many
+   requests one burst may queue on a shard; overflow spills to replicas, and
+   when the whole chain is saturated the request is **shed** into the shard's
+   fallback tier chain (stale cache → embedding top-k) by rewriting its
+   latency budget to zero — backpressure degrades answers, it never stalls;
+4. if no replica is available at all, any healthy shard stands in (every
+   shard holds the full model), and only a fully-down cluster raises.
+
+The facade exposes the exact ``serve``/``serve_many`` surface of a single
+:class:`~repro.serving.RecommendationService`, plus the reference attributes
+(``recommender``/``graph``/``tiers``) the :mod:`repro.simulate` oracles
+expect — so :class:`~repro.simulate.ReplayDriver` and the whole oracle
+battery run against a cluster unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..darl.inference import PathRecommender
+from ..serving.service import (
+    RecommendationRequest,
+    RecommendationResponse,
+    RecommendationService,
+    ServingConfig,
+)
+from .admission import AdmissionController
+from .config import ClusterConfig
+from .health import HealthModel
+from .ring import ConsistentHashRing
+from .telemetry import ClusterTelemetry
+
+
+class ClusterUnavailableError(RuntimeError):
+    """Raised when no healthy shard is left to answer a request."""
+
+
+#: How a dispatched request reached its serving shard.
+DISPOSITIONS = ("primary", "failover", "overflow", "shed")
+
+
+@dataclass
+class RoutingStats:
+    """Cumulative routing outcomes since construction/reset."""
+
+    requests: int = 0
+    primary: int = 0      # served by the key's primary shard
+    failover: int = 0     # primary unavailable → served by a replica/stand-in
+    overflow: int = 0     # primary full → served by a replica with capacity
+    shed: int = 0         # whole chain saturated → fallback tier chain
+
+    def count(self, disposition: str) -> None:
+        self.requests += 1
+        setattr(self, disposition, getattr(self, disposition) + 1)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"requests": self.requests, "primary": self.primary,
+                "failover": self.failover, "overflow": self.overflow,
+                "shed": self.shed}
+
+
+@dataclass
+class ShardWorker:
+    """One shard: an id plus its independent serving facade."""
+
+    shard_id: int
+    service: RecommendationService
+
+
+@dataclass(frozen=True)
+class _Dispatch:
+    """Where one request goes and as what."""
+
+    shard_id: int
+    disposition: str
+    request: RecommendationRequest   # possibly budget-rewritten (shed)
+
+
+class ClusterService:
+    """N shard workers behind a consistent-hash router with failover.
+
+    Build one from prebuilt per-shard services, or via :meth:`from_cadrl` /
+    :meth:`from_artifacts`, which clone an independent
+    :class:`~repro.darl.inference.PathRecommender` per shard over the shared
+    frozen tables (own milestone/action caches per shard, zero weight copies).
+    """
+
+    def __init__(self, services: Sequence[RecommendationService], *,
+                 config: Optional[ClusterConfig] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 health: Optional[HealthModel] = None,
+                 name: str = "ClusterService") -> None:
+        workers = list(services)
+        if not workers:
+            raise ValueError("a cluster needs at least one shard service")
+        if config is None:
+            config = ClusterConfig(num_shards=len(workers),
+                                   replication_factor=min(2, len(workers)))
+        config.validate()
+        if config.num_shards != len(workers):
+            raise ValueError(f"config says {config.num_shards} shards but "
+                             f"{len(workers)} services were provided")
+        self.config = config
+        self.name = name
+        self._clock = clock
+        self.workers = [ShardWorker(shard_id=shard, service=service)
+                        for shard, service in enumerate(workers)]
+        self.ring = ConsistentHashRing(range(len(workers)),
+                                       virtual_nodes=config.virtual_nodes,
+                                       seed=config.seed)
+        self.health = health or HealthModel(range(len(workers)), clock=clock)
+        for shard in config.failed_shards:
+            self.health.fail(shard)
+        self.admission = AdmissionController(config.max_queue_per_shard)
+        self.routing = RoutingStats()
+        self.telemetry = ClusterTelemetry(self.workers)
+
+    # ------------------------------------------------------------------ #
+    # construction over shared artifacts
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_cadrl(cls, model, *, transe=None,
+                   config: Optional[ClusterConfig] = None,
+                   serving_config: Optional[ServingConfig] = None,
+                   clock: Callable[[], float] = time.perf_counter,
+                   name: str = "CADRL (cluster)") -> "ClusterService":
+        """A cluster of shard services over one fitted :class:`repro.darl.CADRL`.
+
+        Each shard gets its *own* :class:`PathRecommender` (so milestone and
+        action caches are per-shard, like real workers) cloned from the
+        model's recommender — same policy object, same frozen tables, same
+        search hyper-parameters — which is what makes failover answers
+        bit-identical across shards.
+        """
+        if model.recommender is None:
+            raise RuntimeError("CADRL.fit must be called before serving")
+        config = config or ClusterConfig()
+        config.validate()
+        reference = model.recommender
+        services = []
+        for shard in range(config.num_shards):
+            recommender = PathRecommender(
+                model.graph, model.category_graph, model.representations,
+                reference.policy, guidance=reference.guidance,
+                max_path_length=reference.max_path_length,
+                max_entity_actions=reference.entity_environment.max_actions,
+                max_category_actions=reference.category_environment.max_actions,
+                use_dual_agent=reference.use_dual_agent,
+                config=reference.config)
+            services.append(RecommendationService(
+                model.graph, model.category_graph, model.representations,
+                reference.policy, recommender=recommender, transe=transe,
+                config=serving_config, clock=clock,
+                name=f"{name}/shard-{shard}"))
+        return cls(services, config=config, clock=clock, name=name)
+
+    @classmethod
+    def from_artifacts(cls, path, *, config: Optional[ClusterConfig] = None,
+                       serving_config: Optional[ServingConfig] = None,
+                       clock: Callable[[], float] = time.perf_counter,
+                       name: str = "CADRL (cluster from artifacts)"
+                       ) -> "ClusterService":
+        """Boot a whole cluster from a persisted pipeline directory.
+
+        The cluster spec defaults to the persisted ``RunConfig.cluster``
+        section, the serving knobs to its ``serving`` section.
+        """
+        from ..pipeline import load_pipeline  # deferred: keep imports light
+
+        result = load_pipeline(path, until=("train",))
+        return cls.from_cadrl(
+            result.cadrl, transe=result.transe,
+            config=config or result.config.cluster,
+            serving_config=serving_config or result.config.serving,
+            clock=clock, name=name)
+
+    # ------------------------------------------------------------------ #
+    # reference surface (oracles, reports, duck-typed callers)
+    # ------------------------------------------------------------------ #
+    @property
+    def _reference(self) -> RecommendationService:
+        return self.workers[0].service
+
+    @property
+    def graph(self):
+        return self._reference.graph
+
+    @property
+    def recommender(self):
+        """A reference recommender over the shared artifacts.
+
+        Every shard searches the same frozen tables, so shard 0's recommender
+        reproduces any shard's full-search answer — which is exactly what the
+        :class:`repro.simulate.FullSearchOracle` recomputes against.
+        """
+        return self._reference.recommender
+
+    @property
+    def tiers(self):
+        return self._reference.tiers
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def replica_chain(self, user_entity: int) -> List[int]:
+        """The deterministic shard preference order for a user's requests."""
+        return self.ring.replicas(user_entity, self.config.replication_factor)
+
+    def _dispatch(self, request: RecommendationRequest) -> _Dispatch:
+        """Assign one request to a shard under health + admission constraints."""
+        chain = self.replica_chain(request.user_entity)
+        primary = chain[0]
+        available = [shard for shard in chain if self.health.is_available(shard)]
+        for shard in available:
+            if self.admission.try_admit(shard):
+                if shard == primary:
+                    disposition = "primary"
+                elif self.health.is_available(primary):
+                    disposition = "overflow"
+                else:
+                    disposition = "failover"
+                return _Dispatch(shard, disposition, request)
+        if not available:
+            # Whole replica chain is unavailable.  Any healthy shard can
+            # stand in (each holds the full model); scan in id order so the
+            # choice is deterministic.
+            for shard in self.health.available_shards():
+                if self.admission.try_admit(shard):
+                    return _Dispatch(shard, "failover", request)
+                available.append(shard)
+            if not available:
+                raise ClusterUnavailableError(
+                    f"no healthy shard left in {self.name} "
+                    f"(health: {self.health.snapshot()})")
+        # Every available shard is at its queue bound: shed into the first
+        # one's fallback tier chain by zeroing the latency budget — the shard
+        # then answers from its stale cache or the embedding tier, both far
+        # below full-search cost, instead of deepening the queue.
+        shed = dataclasses.replace(request, latency_budget_ms=0.0)
+        return _Dispatch(available[0], "shed", shed)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def serve_many(self, requests: Sequence[RecommendationRequest]
+                   ) -> List[RecommendationResponse]:
+        """Route one burst: group by shard, serve each group batched.
+
+        Dispatch walks the burst in order (admission is order-dependent and
+        therefore replayable); each shard's group keeps its relative order
+        and is answered by that shard's own ``serve_many`` (dedup + batched
+        frontier search), and the responses are stitched back into the
+        original request order.
+        """
+        self.admission.begin_burst()
+        dispatches: List[_Dispatch] = []
+        groups: Dict[int, List[int]] = {}
+        for index, request in enumerate(requests):
+            dispatch = self._dispatch(request)
+            self.routing.count(dispatch.disposition)
+            dispatches.append(dispatch)
+            groups.setdefault(dispatch.shard_id, []).append(index)
+
+        responses: List[Optional[RecommendationResponse]] = [None] * len(dispatches)
+        for shard_id in sorted(groups):
+            worker = self.workers[shard_id]
+            indices = groups[shard_id]
+            served = worker.service.serve_many(
+                [dispatches[index].request for index in indices])
+            for index, response in zip(indices, served):
+                if dispatches[index].disposition == "shed":
+                    # Restore the caller's request (the zero-budget rewrite is
+                    # an internal routing device) and mark the degradation, so
+                    # replay records and oracles see an honest "this answer
+                    # was shed by backpressure" instead of a tier-policy
+                    # violation on an unconstrained request.
+                    response.request = requests[index]
+                    response.shed = True
+                responses[index] = response
+        return responses  # type: ignore[return-value]
+
+    def serve(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Answer one request (a singleton burst through the same router)."""
+        return self.serve_many([request])[0]
+
+    # ------------------------------------------------------------------ #
+    # request helpers (same surface as RecommendationService)
+    # ------------------------------------------------------------------ #
+    def build_requests(self, user_entities, top_k=None, exclude_items=None,
+                       latency_budget_ms=None) -> List[RecommendationRequest]:
+        return self._reference.build_requests(
+            user_entities, top_k=top_k, exclude_items=exclude_items,
+            latency_budget_ms=latency_budget_ms)
+
+    def warm_up(self, user_entities, top_k=None) -> List[RecommendationResponse]:
+        """Pre-populate each shard's caches for its slice of the audience."""
+        return self.serve_many(self.build_requests(user_entities, top_k=top_k))
+
+    def invalidate_user(self, user_entity: int) -> int:
+        """Drop the user's cached state on *every* shard.
+
+        Failover and overflow mean a user's results may live on any replica,
+        so invalidation fans out; returns the number of dropped cache entries
+        across the cluster.
+        """
+        return sum(worker.service.invalidate_user(user_entity)
+                   for worker in self.workers)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def telemetry_snapshot(self) -> Dict:
+        """Merged cluster telemetry plus routing, admission and health state."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["routing"] = self.routing.as_dict()
+        snapshot["admission"] = self.admission.stats.as_dict()
+        snapshot["health"] = self.health.snapshot()
+        snapshot["topology"] = {
+            "num_shards": self.num_shards,
+            "replication_factor": self.config.replication_factor,
+            "virtual_nodes": self.config.virtual_nodes,
+            "max_queue_per_shard": self.config.max_queue_per_shard,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # timing-harness surface (duck-types the Table III recommender protocol)
+    # ------------------------------------------------------------------ #
+    def recommend_items(self, user_entity: int, top_k: int = 10) -> List[int]:
+        """Ranked item entities through the full cluster path."""
+        return self.serve(RecommendationRequest(user_entity=user_entity,
+                                                top_k=top_k)).items
+
+    def find_paths(self, user_entity: int, num_paths: int):
+        """Raw path discovery on the user's primary (or failover) shard."""
+        chain = self.replica_chain(user_entity)
+        available = [shard for shard in chain if self.health.is_available(shard)]
+        if not available:
+            stand_ins = self.health.available_shards()
+            if not stand_ins:
+                raise ClusterUnavailableError(
+                    f"no healthy shard left in {self.name} "
+                    f"(health: {self.health.snapshot()})")
+            available = [stand_ins[0]]
+        return self.workers[available[0]].service.recommender.find_paths(
+            user_entity, num_paths)

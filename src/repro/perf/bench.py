@@ -9,7 +9,10 @@
 * **Beam-search serving QPS** — ``serve_many`` bursts through a
   :class:`repro.serving.RecommendationService`, cold (all caches empty) and
   warm (milestone/action caches hot, result cache cleared so the search
-  actually runs), for both the vectorised and the scalar recommender.
+  actually runs), for both the vectorised and the scalar recommender;
+* **Cluster throughput** — the same warm burst through a 1-shard service vs
+  an N-shard :class:`repro.cluster.ClusterService`, reporting the cluster
+  layer's routing overhead (trend metric, not gated).
 
 Both sides of every pair run interleaved in the same process on the same
 data, and the gateable numbers are the *speedup ratios* — machine-independent
@@ -61,6 +64,8 @@ class BenchProfile:
     beam_users: int = 60
     beam_top_k: int = 10
     rollout_users: int = 20
+    cluster_shards: int = 4      # N-shard side of the cluster-throughput pair
+    cluster_replicas: int = 2
     repeats: int = 5             # interleaved repetitions, median taken
 
     def validate(self) -> None:
@@ -68,8 +73,10 @@ class BenchProfile:
             raise ValueError("scale must be positive")
         if min(self.transe_epochs, self.beam_users, self.repeats,
                self.rollout_users, self.beam_top_k, self.beam_width,
-               self.max_entity_actions) <= 0:
+               self.max_entity_actions, self.cluster_shards) <= 0:
             raise ValueError("benchmark sizes must be positive")
+        if not 1 <= self.cluster_replicas <= self.cluster_shards:
+            raise ValueError("cluster_replicas must lie in [1, cluster_shards]")
 
     def run_config(self) -> RunConfig:
         """The pipeline configuration that builds this profile's stack."""
@@ -236,6 +243,53 @@ def bench_beam_search(result: PipelineResult,
     }
 
 
+def bench_cluster(result: PipelineResult,
+                  profile: BenchProfile) -> Dict[str, float]:
+    """1-shard vs N-shard serving QPS through the cluster facade.
+
+    Both sides answer the identical warm burst (model caches hot, result
+    caches cleared before every run, so each request really searches).  The
+    cluster runs its shards in-process, so the interesting numbers are the
+    routing overhead and the cache partitioning, not a parallel speedup —
+    ``relative_throughput`` near 1.0 means the cluster layer is ~free and
+    real scaling is left to the per-shard processes.  Trend metric, not gated
+    (absolute QPS and the overhead ratio are machine-sensitive).
+    """
+    from ..cluster import ClusterConfig, ClusterService
+
+    users = result.graph.entities.ids_of_type(EntityType.USER)[: profile.beam_users]
+    serving_config = ServingConfig(cache_capacity=max(4 * profile.beam_users, 64))
+    single = RecommendationService.from_cadrl(
+        result.cadrl, transe=result.transe, config=serving_config,
+        name="bench (1 shard)")
+    cluster = ClusterService.from_cadrl(
+        result.cadrl, transe=result.transe,
+        config=ClusterConfig(num_shards=profile.cluster_shards,
+                             replication_factor=profile.cluster_replicas),
+        serving_config=serving_config, name="bench (cluster)")
+
+    requests = single.build_requests(users, top_k=profile.beam_top_k)
+
+    def single_burst() -> None:
+        _reset_serving_state(single, keep_model_caches=True)
+        single.serve_many(requests)
+
+    def cluster_burst() -> None:
+        for worker in cluster.workers:
+            worker.service.cache.clear()
+        cluster.serve_many(requests)
+
+    single_s, cluster_s = _median_ab(single_burst, cluster_burst, profile.repeats)
+    count = len(users)
+    return {
+        "single_shard_qps": count / single_s,
+        "cluster_qps": count / cluster_s,
+        "shards": float(profile.cluster_shards),
+        "replicas": float(profile.cluster_replicas),
+        "relative_throughput": single_s / cluster_s,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # orchestration
 # --------------------------------------------------------------------------- #
@@ -275,6 +329,7 @@ def run_bench(profile: Union[str, BenchProfile],
     metrics["transe"] = bench_transe(result, profile)
     metrics["rollouts"] = bench_rollouts(result, profile)
     metrics.update(bench_beam_search(result, profile))
+    metrics["cluster"] = bench_cluster(result, profile)
 
     return {
         "meta": {
@@ -392,4 +447,11 @@ def render_report(document: Dict) -> str:
         f"(reference {metrics['beam_warm']['reference_qps']:.1f}, "
         f"speedup {metrics['beam_warm']['speedup']:.2f}x)",
     ]
+    if "cluster" in metrics:
+        cluster = metrics["cluster"]
+        lines.append(
+            f"  cluster    {cluster['cluster_qps']:8.1f} QPS over "
+            f"{cluster['shards']:.0f} shards ×{cluster['replicas']:.0f} "
+            f"(1 shard {cluster['single_shard_qps']:.1f}, "
+            f"relative {cluster['relative_throughput']:.2f}x)")
     return "\n".join(lines)

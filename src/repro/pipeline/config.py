@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..cluster.config import ClusterConfig
 from ..darl import CADRLConfig
 from ..serving import ServingConfig
 
@@ -160,6 +161,14 @@ class RunConfig:
         Operational knobs of the serving facade
         (:class:`repro.serving.ServingConfig`) used by the ``serve-check``
         stage and :meth:`PipelineResult.service`.
+    cluster:
+        The serving topology (:class:`repro.cluster.ClusterConfig`): shard
+        count, replication factor, ring seed, admission bounds and boot-time
+        failure injection.  The default is a single unreplicated shard, i.e.
+        the plain :class:`~repro.serving.RecommendationService`; with
+        ``num_shards > 1`` the ``serve-check`` stage and
+        :meth:`PipelineResult.service` boot a
+        :class:`repro.cluster.ClusterService` instead.
     eval:
         Ranking cutoff and the optional evaluated-user cap
         (:class:`EvalConfig`).
@@ -168,6 +177,7 @@ class RunConfig:
     data: DataConfig = field(default_factory=DataConfig)
     model: CADRLConfig = field(default_factory=CADRLConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
     eval: EvalConfig = field(default_factory=EvalConfig)
 
     # ------------------------------------------------------------------ #
@@ -198,6 +208,7 @@ class RunConfig:
         self.data.validate()
         self.eval.validate()
         self.serving.validate()
+        self.cluster.validate()
 
     # ------------------------------------------------------------------ #
     # JSON round-trip
@@ -208,6 +219,7 @@ class RunConfig:
             "data": config_to_dict(self.data),
             "model": config_to_dict(self.model),
             "serving": config_to_dict(self.serving),
+            "cluster": config_to_dict(self.cluster),
             "eval": config_to_dict(self.eval),
         }
 
@@ -215,13 +227,14 @@ class RunConfig:
     def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
         payload = dict(data)
         payload.pop("pipeline_version", None)
-        unknown = set(payload) - {"data", "model", "serving", "eval"}
+        unknown = set(payload) - {"data", "model", "serving", "cluster", "eval"}
         if unknown:
             raise ValueError(f"unknown RunConfig sections: {sorted(unknown)}")
         return cls(
             data=config_from_dict(DataConfig, payload.get("data", {})),
             model=_model_from_dict(payload.get("model", {})),
             serving=config_from_dict(ServingConfig, payload.get("serving", {})),
+            cluster=config_from_dict(ClusterConfig, payload.get("cluster", {})),
             eval=config_from_dict(EvalConfig, payload.get("eval", {})),
         )
 
@@ -266,6 +279,7 @@ class RunConfig:
             "eval": {"eval": config_to_dict(self.eval),
                      "inference": config_to_dict(model.inference)},
             "serve-check": {"serving": config_to_dict(self.serving),
+                            "cluster": config_to_dict(self.cluster),
                             "inference": config_to_dict(model.inference)},
         }
         fingerprints: Dict[str, str] = {}

@@ -77,7 +77,15 @@ class PipelineResult:
         return self.context.store.root if self.context.store else None
 
     def service(self, serving_config=None, **kwargs):
-        """A :class:`repro.serving.RecommendationService` over the trained stack."""
+        """The serving facade the run's cluster spec asks for.
+
+        A plain :class:`repro.serving.RecommendationService` for the default
+        single-shard topology; a :class:`repro.cluster.ClusterService` when
+        ``config.cluster.num_shards > 1`` — both expose the same
+        ``serve``/``serve_many`` surface.
+        """
+        if self.config.cluster.is_clustered:
+            return self.cluster_service(serving_config=serving_config, **kwargs)
         from ..serving import RecommendationService
 
         if self.cadrl is None:
@@ -85,6 +93,21 @@ class PipelineResult:
         return RecommendationService.from_cadrl(
             self.cadrl, transe=self.transe,
             config=serving_config or self.config.serving, **kwargs)
+
+    def cluster_service(self, cluster_config=None, serving_config=None, **kwargs):
+        """A :class:`repro.cluster.ClusterService` over the trained stack.
+
+        ``cluster_config`` overrides the run's persisted cluster spec (e.g.
+        to replay the same artifacts under a different topology).
+        """
+        from ..cluster import ClusterService
+
+        if self.cadrl is None:
+            raise PipelineError("pipeline did not reach the train stage")
+        return ClusterService.from_cadrl(
+            self.cadrl, transe=self.transe,
+            config=cluster_config or self.config.cluster,
+            serving_config=serving_config or self.config.serving, **kwargs)
 
     def summary(self) -> str:
         """One line per stage: status and fingerprint prefix."""

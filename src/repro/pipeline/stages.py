@@ -337,6 +337,12 @@ class ServeCheckStage(Stage):
     hit with an identical payload — and replays every full-search answer
     against a direct ``PathRecommender`` search (the same exactness contract
     as :class:`repro.simulate.FullSearchOracle`).
+
+    The facade is booted per the run's cluster spec: a plain
+    :class:`repro.serving.RecommendationService` for the default single-shard
+    topology, a :class:`repro.cluster.ClusterService` (including any boot-time
+    failure injection) when ``config.cluster.num_shards > 1`` — the check
+    itself is identical because the cluster exposes the same surface.
     """
 
     name = "serve-check"
@@ -344,12 +350,20 @@ class ServeCheckStage(Stage):
     sample_users = 5
 
     def run(self, context: PipelineContext) -> None:
-        from ..serving import RecommendationService  # deferred: keep stage imports light
-
         context.require("cadrl")
         cadrl = context.cadrl
-        service = RecommendationService.from_cadrl(
-            cadrl, transe=context.transe, config=context.config.serving)
+        cluster_config = context.config.cluster
+        if cluster_config.is_clustered:
+            from ..cluster import ClusterService  # deferred: keep stage imports light
+
+            service = ClusterService.from_cadrl(
+                cadrl, transe=context.transe, config=cluster_config,
+                serving_config=context.config.serving)
+        else:
+            from ..serving import RecommendationService
+
+            service = RecommendationService.from_cadrl(
+                cadrl, transe=context.transe, config=context.config.serving)
         users = sorted(_entity_train_items(context))[: self.sample_users]
         top_k = context.config.serving.default_top_k
         requests = service.build_requests(users, top_k=top_k)
@@ -372,6 +386,8 @@ class ServeCheckStage(Stage):
         context.serve_report = {
             "checked_users": len(users),
             "top_k": top_k,
+            "num_shards": cluster_config.num_shards,
+            "replication_factor": cluster_config.replication_factor,
             "mismatches": mismatches,
             "ok": not mismatches,
             "telemetry": service.telemetry_snapshot(),

@@ -114,6 +114,10 @@ class RecommendationResponse:
     ``tier`` is how *this* request was answered; ``source_tier`` is the tier
     that originally computed the payload (they differ on cache/stale hits,
     e.g. ``tier=CACHE, source_tier=FULL`` for a cached beam-search result).
+    ``shed`` marks answers degraded by cluster backpressure
+    (:class:`repro.cluster.ClusterService` saturation) rather than by the
+    request's own latency budget — oracles judge such answers under
+    degraded-tier rules even when the original request was unconstrained.
     """
 
     request: RecommendationRequest
@@ -123,6 +127,7 @@ class RecommendationResponse:
     source_tier: ServingTier
     cache_hit: bool
     latency_ms: float
+    shed: bool = False
 
     @property
     def explainable(self) -> bool:

@@ -171,9 +171,19 @@ class FallbackValidityOracle:
             report.add(record, "cold user served a full-search payload")
         if (not cold and not record.cache_hit
                 and record.latency_budget_ms is None
+                and not record.shed
                 and record.tier is not ServingTier.FULL):
+            # Shed answers are exempt: cluster backpressure legitimately
+            # degrades an unconstrained request into the fallback chain, and
+            # the record says so explicitly.
             report.add(record, f"unconstrained warm miss served from "
                                f"'{record.tier.value}' instead of full search")
+        if record.shed and record.tier is ServingTier.FULL:
+            # A shed request may still hit the shard's fresh cache (free and
+            # full quality), but it must never run the full search it was
+            # shed to avoid.
+            report.add(record, "shed request ran the full beam search "
+                               "instead of the fallback tier chain")
 
 
 class StaleConsistencyOracle:

@@ -86,6 +86,9 @@ class RequestRecord:
     latency_ms: float
     items: Tuple[int, ...]
     paths: Tuple[RecommendationPath, ...] = ()
+    #: The answer was degraded by cluster backpressure (admission shedding),
+    #: not by the request's own latency budget.
+    shed: bool = False
 
     def cache_key(self) -> Tuple[int, int, frozenset]:
         """The result-cache key this request mapped to."""
@@ -139,16 +142,25 @@ class ReplayResult:
         return counts
 
     def cache_hit_rate(self) -> float:
+        """Hit fraction over the replayed requests; NaN for an empty replay."""
         if not self.records:
-            return 0.0
+            return float("nan")
         return sum(record.cache_hit for record in self.records) / len(self.records)
 
     def latencies_ms(self) -> List[float]:
         return [record.latency_ms for record in self.records]
 
     def replay_qps(self) -> float:
-        if self.wall_seconds <= 0.0:
-            return 0.0
+        """Served requests per wall-clock second; NaN when undefined.
+
+        A replay with no records, or one whose wall-clock span is zero or
+        near-zero (single-request traces, mocked clocks), has no meaningful
+        rate — returning 0.0 would read as "infinitely slow" and dividing by
+        a near-zero span as "infinitely fast", so the answer is NaN (the
+        repository-wide "NaN not 0.0" convention for undefined measurements).
+        """
+        if not self.records or self.wall_seconds <= 0.0:
+            return float("nan")
         return len(self.records) / self.wall_seconds
 
     def signature(self) -> str:
@@ -163,7 +175,7 @@ class ReplayResult:
             digest.update(repr((record.index, record.user_entity, record.top_k,
                                 record.exclude_items, record.tier.value,
                                 record.source_tier.value, record.cache_hit,
-                                record.items)).encode("utf-8"))
+                                record.shed, record.items)).encode("utf-8"))
         return digest.hexdigest()
 
 
@@ -208,6 +220,7 @@ class ReplayDriver:
                     latency_ms=response.latency_ms,
                     items=tuple(response.items),
                     paths=tuple(response.paths) if config.record_paths else (),
+                    shed=getattr(response, "shed", False),
                 ))
         result.wall_seconds = time.perf_counter() - start
         return result

@@ -65,8 +65,9 @@ def render_report(summary: Dict) -> str:
     lines.append(f"replay wall time    {summary['wall_seconds']:>8.2f}s "
                  f"({summary['replay_qps']:.0f} QPS served)")
     latency = summary["latency_ms"]
-    lines.append(f"latency ms          p50={latency['p50']:.2f}  "
-                 f"p95={latency['p95']:.2f}  p99={latency['p99']:.2f}")
+    rendered_latency = "  ".join(f"{label}={value:.2f}"
+                                 for label, value in latency.items())
+    lines.append(f"latency ms          {rendered_latency}")
     lines.append(f"cache hit rate      {100.0 * summary['cache_hit_rate']:>7.1f}%")
     for title, key in (("tier mix", "tier_mix"), ("source tiers", "source_tier_mix")):
         shares = as_percentages(summary[key])

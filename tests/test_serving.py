@@ -106,12 +106,30 @@ class TestTelemetry:
         assert telemetry.qps() == pytest.approx(10.0)
         assert telemetry.cache_hit_rate() == 1.0
 
-    def test_empty_snapshot_is_nan_latency_zero_qps(self):
+    def test_empty_snapshot_is_uniformly_nan(self):
         telemetry = ServingTelemetry(window=8, clock=FakeClock())
         snapshot = telemetry.snapshot()
         assert snapshot["requests"] == 0
-        assert snapshot["qps"] == 0.0
-        assert math.isnan(snapshot["latency_ms"]["p50"])
+        assert math.isnan(snapshot["qps"])
+        assert math.isnan(snapshot["cache_hit_rate"])
+        assert all(math.isnan(value)
+                   for value in snapshot["latency_ms"].values())
+        assert {"p50", "p95", "p99", "p99.9"} == set(snapshot["latency_ms"])
+
+    def test_configurable_percentiles_and_export_state(self):
+        clock = FakeClock()
+        telemetry = ServingTelemetry(window=8, clock=clock,
+                                     percentiles=(50.0, 90.0))
+        telemetry.record(5.0, ServingTier.FULL)
+        clock.advance(1.0)
+        telemetry.record(15.0, ServingTier.CACHE, cache_hit=True)
+        assert set(telemetry.latency_percentiles()) == {"p50", "p90"}
+        state = telemetry.export_state()
+        assert state["samples"] == ((0.0, 5.0), (1.0, 15.0))
+        assert state["tier_counts"] == {"full_search": 1, "cache": 1}
+        assert state["cache_hits"] == 1 and state["requests"] == 2
+        with pytest.raises(ValueError):
+            ServingTelemetry(percentiles=())
 
     def test_tier_counts_and_reset(self):
         telemetry = ServingTelemetry(window=8, clock=FakeClock())
