@@ -30,6 +30,10 @@ Public API highlights
 * :mod:`repro.perf` — the performance rail: seeded benchmarks
   (``python -m repro bench``), frozen scalar reference implementations of the
   vectorised hot paths, and the baseline-JSON regression gate.
+* :mod:`repro.live` — zero-downtime streaming updates: an append-only
+  replayable update log, incremental CSR adjacency patching, warm-started
+  few-epoch TransE/CGGNN refreshes producing generation-versioned artifacts,
+  and shard-by-shard cluster swaps with scoped cache invalidation.
 
 Subpackages are imported lazily: ``import repro; repro.serving`` works without
 eagerly paying for the heavier training imports.
@@ -50,6 +54,7 @@ _SUBPACKAGES = (
     "eval",
     "experiments",
     "kg",
+    "live",
     "nn",
     "perf",
     "pipeline",

@@ -5,7 +5,7 @@ from .gating import GatedAggregationLayer
 from .model import CGGNN, CGGNNConfig, Representations
 from .neighbourhood import NeighbourhoodTable, build_neighbourhood_table
 from .propagation import AdaptivePropagationLayer
-from .trainer import CGGNNTrainer, CGGNNTrainingConfig, train_cggnn
+from .trainer import CGGNNTrainer, CGGNNTrainingConfig, train_cggnn, warm_start_cggnn
 
 __all__ = [
     "AdaptivePropagationLayer",
@@ -19,4 +19,5 @@ __all__ = [
     "Representations",
     "build_neighbourhood_table",
     "train_cggnn",
+    "warm_start_cggnn",
 ]

@@ -128,10 +128,47 @@ class CGGNNTrainer:
         return self.model.export_representations()
 
 
+def warm_start_cggnn(model: CGGNN, initial_state: Representations) -> None:
+    """Overlay a prior generation's representation tables onto ``model``.
+
+    The trainable tables (item self-embeddings, category embeddings) start
+    from the prior generation's converged values instead of the TransE
+    initialisation; items and categories that appeared *after* the prior keep
+    their seeded initialisation.  Entity ids are append-only, so a prior row
+    index is a valid entity id in every descendant graph — the overlay maps
+    prior vectors to item rows by entity id, not by row position.
+    """
+    dim = model.config.embedding_dim
+    if initial_state.entity.ndim != 2 or initial_state.entity.shape[1] != dim:
+        raise ValueError(
+            f"warm-start entity table shape {initial_state.entity.shape} does "
+            f"not match embedding_dim={dim}")
+    if initial_state.category.ndim != 2 or initial_state.category.shape[1] != dim:
+        raise ValueError(
+            f"warm-start category table shape {initial_state.category.shape} "
+            f"does not match embedding_dim={dim}")
+    prior_rows = initial_state.entity.shape[0]
+    item_ids = np.asarray(model.table.item_ids, dtype=np.int64)
+    known = item_ids < prior_rows
+    model.item_embeddings.data[known] = initial_state.entity[item_ids[known]]
+    overlap = min(model.category_table.data.shape[0],
+                  initial_state.category.shape[0])
+    model.category_table.data[:overlap] = initial_state.category[:overlap]
+
+
 def train_cggnn(graph: KnowledgeGraph, model: CGGNN,
-                config: Optional[CGGNNTrainingConfig] = None
+                config: Optional[CGGNNTrainingConfig] = None,
+                initial_state: Optional[Representations] = None
                 ) -> Tuple[Representations, List[float]]:
-    """Train ``model`` on ``graph`` and return (representations, loss curve)."""
+    """Train ``model`` on ``graph`` and return (representations, loss curve).
+
+    ``initial_state`` warm-starts the trainable tables from a prior
+    generation's :class:`Representations` (see :func:`warm_start_cggnn`),
+    which is what lets the live-refresh path run a few-epoch delta refresh
+    instead of retraining from the TransE initialisation.
+    """
+    if initial_state is not None:
+        warm_start_cggnn(model, initial_state)
     trainer = CGGNNTrainer(model, graph, config)
     losses = trainer.train()
     return trainer.export(), losses

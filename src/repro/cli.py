@@ -23,7 +23,11 @@ Commands
     topology instead of a single service, ``--fail-shard K`` injects a
     deterministic boot-time shard failure, and the replay runs in virtual
     time by default, so the same ``--seed`` reproduces the identical result
-    signature bit for bit.
+    signature bit for bit.  ``--live-ingest N`` turns on the live-update
+    loop (``repro.live``): scheduled mid-trace ingestion bursts, a
+    warm-start refresh and a zero-downtime generation swap, verified by the
+    cross-generation oracle; add ``--expect-no-shed`` to fail the run if
+    any request was shed.
 ``experiments``
     Run the paper's tables/figures (replaces the old ad-hoc
     ``repro.experiments.runner`` argparse).
@@ -43,6 +47,7 @@ Examples
     python -m repro serve-demo --artifacts artifacts/smoke
     python -m repro simulate --artifacts artifacts/smoke --requests 500
     python -m repro simulate --shards 4 --replicas 2 --fail-shard 1 --seed 7
+    python -m repro simulate --shards 4 --live-ingest 25 --expect-no-shed
     python -m repro experiments --profile smoke --only table1 fig5
     python -m repro bench --profile smoke --out benchmarks
 """
@@ -195,6 +200,11 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     result = _result_for_serving(arguments)
     config = result.config
 
+    live = bool(arguments.live_ingest)
+    if live and arguments.wall_clock:
+        raise SystemExit("error: --live-ingest replays run in virtual time; "
+                         "drop --wall-clock")
+
     # Topology: CLI flags override the run's persisted cluster spec.
     shards = (arguments.shards if arguments.shards is not None
               else config.cluster.num_shards)
@@ -209,7 +219,9 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
             raise SystemExit(
                 "error: --fail-shard would take every shard down; "
                 "leave at least one healthy (or raise --shards)")
-    clustered = shards > 1 or bool(failed_shards)
+    # Live generation swaps flip shards through the cluster facade, so a
+    # live replay always runs the cluster path (a 1-shard cluster is fine).
+    clustered = shards > 1 or bool(failed_shards) or live
     if arguments.replicas is not None:
         replicas = arguments.replicas
     elif arguments.shards is None:
@@ -259,9 +271,45 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
           f"of trace time, seed {workload_seed} "
           f"(signature {workload.signature()[:16]}…)")
 
-    replay = ReplayDriver(service, clock=clock).replay(workload)
-    reports = run_oracles(service, replay.records,
-                          full_search_sample=arguments.oracle_sample, seed=0)
+    session = None
+    if live:
+        from .live import (
+            GenerationBundle,
+            IngestEvent,
+            LiveSession,
+            RefreshConfig,
+            SwapEvent,
+        )
+
+        duration = workload.duration_s
+        schedule = [IngestEvent(at_s=fraction * duration,
+                                count=arguments.live_ingest,
+                                seed=workload_seed + offset)
+                    for offset, fraction in
+                    enumerate(arguments.ingest_at or [0.35])]
+        schedule += [SwapEvent(at_s=fraction * duration)
+                     for fraction in (arguments.swap_at or [0.6])]
+        session = LiveSession(
+            service, GenerationBundle.from_pipeline(result), clock=clock,
+            refresh_config=RefreshConfig(
+                transe_epochs=arguments.refresh_epochs,
+                cggnn_epochs=max(1, arguments.refresh_epochs // 2),
+                seed=workload_seed),
+            schedule=schedule)
+        print(f"live: {len(schedule)} scheduled events "
+              f"({arguments.live_ingest} deltas per ingest, "
+              f"{arguments.refresh_epochs}-epoch warm refresh)")
+
+    replay = ReplayDriver(session or service, clock=clock).replay(workload)
+    if session is not None:
+        from .simulate import run_live_oracles
+
+        reports = run_live_oracles(session, replay.records,
+                                   full_search_sample=arguments.oracle_sample,
+                                   seed=0)
+    else:
+        reports = run_oracles(service, replay.records,
+                              full_search_sample=arguments.oracle_sample, seed=0)
     summary = summarize(replay, reports)
     summary["workload_seed"] = workload_seed
     summary["replay_signature"] = replay.signature()
@@ -271,6 +319,9 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
         summary["admission"] = snapshot["admission"]
         summary["health"] = snapshot["health"]
         summary["topology"] = snapshot["topology"]
+    if session is not None:
+        live_snapshot = session.telemetry_snapshot()["live"]
+        summary["live"] = live_snapshot
     print()
     print(render_report(summary))
     if clustered:
@@ -278,7 +329,30 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
         print(f"routing             "
               + "  ".join(f"{key}={routing[key]}"
                           for key in ("primary", "failover", "overflow", "shed")))
+    if session is not None:
+        generations = {}
+        for record in replay.records:
+            generations[record.generation] = generations.get(record.generation, 0) + 1
+        summary["live"]["records_by_generation"] = {
+            str(generation): count
+            for generation, count in sorted(generations.items())}
+        print(f"live                generation={live_snapshot['generation']}  "
+              + "  ".join(f"gen{generation}={count}"
+                          for generation, count in sorted(generations.items())))
+        for swap in live_snapshot["swaps"]:
+            print(f"  swap → gen {swap['generation']}: "
+                  f"flipped shards {swap['flip_order']}, "
+                  f"{swap['invalidated_entries']} cache entries invalidated "
+                  f"({swap['preserved_entries']} preserved), "
+                  f"{swap['touched_entities']} entities touched")
     print(f"replay signature    {replay.signature()[:32]}…")
+    if arguments.expect_no_shed:
+        shed = sum(record.shed for record in replay.records)
+        if shed:
+            print(f"SHED CHECK FAILED: {shed} of {len(replay.records)} "
+                  f"requests were shed", file=sys.stderr)
+            return 1
+        print(f"shed check ok       0 of {len(replay.records)} requests shed")
     if arguments.summary_json is not None:
         arguments.summary_json.parent.mkdir(parents=True, exist_ok=True)
         arguments.summary_json.write_text(
@@ -413,6 +487,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override the per-service result-cache "
                                "capacity (cache-pressure experiments: each "
                                "shard owns its own cache of this size)")
+    simulate.add_argument("--live-ingest", type=int, default=0,
+                          dest="live_ingest", metavar="N",
+                          help="enable live mode: synthesize N graph deltas "
+                               "per scheduled ingest burst (0 = off)")
+    simulate.add_argument("--ingest-at", type=float, action="append",
+                          dest="ingest_at", metavar="FRAC",
+                          help="fire an ingest burst at FRAC of the trace "
+                               "duration (repeatable; default 0.35)")
+    simulate.add_argument("--swap-at", type=float, action="append",
+                          dest="swap_at", metavar="FRAC",
+                          help="refresh and swap to the next artifact "
+                               "generation at FRAC of the trace duration "
+                               "(repeatable; default 0.6)")
+    simulate.add_argument("--refresh-epochs", type=int, default=2,
+                          dest="refresh_epochs", metavar="N",
+                          help="warm-start TransE refresh epochs per "
+                               "generation swap (default 2)")
+    simulate.add_argument("--expect-no-shed", action="store_true",
+                          dest="expect_no_shed",
+                          help="exit non-zero if any request was shed "
+                               "(the zero-downtime gate for live replays)")
     simulate.add_argument("--summary-json", type=Path, default=None,
                           dest="summary_json", metavar="FILE",
                           help="dump the machine-readable replay summary")

@@ -327,6 +327,53 @@ class ClusterService:
         return sum(worker.service.invalidate_user(user_entity)
                    for worker in self.workers)
 
+    def invalidate_entities(self, entities) -> int:
+        """Scoped cluster-wide invalidation after a streaming delta.
+
+        Fans :meth:`RecommendationService.invalidate_entities` out to every
+        shard (replicas may cache any user); returns the total number of
+        dropped result-cache entries.
+        """
+        touched = set(entities)
+        return sum(worker.service.invalidate_entities(touched)
+                   for worker in self.workers)
+
+    # ------------------------------------------------------------------ #
+    # live generation swap
+    # ------------------------------------------------------------------ #
+    def replace_shard_service(self, shard_id: int,
+                              service: RecommendationService, *,
+                              carry_cache: bool = True,
+                              carry_telemetry: bool = True
+                              ) -> RecommendationService:
+        """Swap one shard's serving facade in place (live generation flip).
+
+        Called between bursts by the :class:`repro.live.EpochSwapCoordinator`;
+        the shard slot, ring position, health state and admission queue all
+        stay put — only the facade behind them changes.  By default the new
+        service inherits the outgoing one's result cache and telemetry
+        objects: cached answers of untouched users survive the flip (still
+        reporting the generation that computed them, via
+        ``CachedResult.generation``) and the shard's rolling telemetry window
+        spans the swap.  Returns the replaced service.
+        """
+        if not 0 <= shard_id < len(self.workers):
+            raise ValueError(f"unknown shard {shard_id} "
+                             f"(cluster has {len(self.workers)})")
+        worker = self.workers[shard_id]
+        outgoing = worker.service
+        if carry_cache:
+            service.cache = outgoing.cache
+        if carry_telemetry:
+            service.telemetry = outgoing.telemetry
+        worker.service = service
+        return outgoing
+
+    def shard_generations(self) -> Dict[int, int]:
+        """Artifact generation currently served by each shard."""
+        return {worker.shard_id: getattr(worker.service, "generation", 0)
+                for worker in self.workers}
+
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
@@ -342,6 +389,8 @@ class ClusterService:
             "virtual_nodes": self.config.virtual_nodes,
             "max_queue_per_shard": self.config.max_queue_per_shard,
         }
+        snapshot["generations"] = {str(shard): generation for shard, generation
+                                   in self.shard_generations().items()}
         return snapshot
 
     # ------------------------------------------------------------------ #

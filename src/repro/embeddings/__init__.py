@@ -1,6 +1,13 @@
 """KG embedding substrate (TransE pre-training)."""
 
-from .transe import TransEConfig, TransEModel, category_embeddings, top_k_by_score, train_transe
+from .transe import (
+    TransEConfig,
+    TransEModel,
+    apply_initial_state,
+    category_embeddings,
+    top_k_by_score,
+    train_transe,
+)
 
-__all__ = ["TransEConfig", "TransEModel", "category_embeddings", "top_k_by_score",
-           "train_transe"]
+__all__ = ["TransEConfig", "TransEModel", "apply_initial_state",
+           "category_embeddings", "top_k_by_score", "train_transe"]

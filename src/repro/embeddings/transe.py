@@ -14,7 +14,7 @@ pre-training stage down).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -215,12 +215,69 @@ class _ScatterAdd:
             np.add.at(table, indices, values)
 
 
-def train_transe(graph: KnowledgeGraph, config: Optional[TransEConfig] = None
+#: Accepted warm-start forms: a prior model or an ``(entity, relation)`` pair.
+TransEInitialState = Union["TransEModel", Tuple[np.ndarray, np.ndarray]]
+
+
+def _resolve_initial_state(initial_state: TransEInitialState
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise a warm-start argument into ``(entity, relation)`` arrays."""
+    if isinstance(initial_state, TransEModel):
+        return initial_state.entity_embeddings, initial_state.relation_embeddings
+    try:
+        entity_table, relation_table = initial_state
+    except (TypeError, ValueError):
+        raise TypeError(
+            "initial_state must be a TransEModel or an "
+            "(entity_embeddings, relation_embeddings) pair, "
+            f"got {type(initial_state).__name__}") from None
+    return (np.asarray(entity_table, dtype=np.float64),
+            np.asarray(relation_table, dtype=np.float64))
+
+
+def apply_initial_state(model: TransEModel, initial_state: TransEInitialState) -> None:
+    """Overlay prior embedding tables onto a freshly initialised ``model``.
+
+    The relation table must match exactly; the entity table may cover a
+    *prefix* of the model's entities (the graph only ever grows, and entity
+    ids are assigned sequentially), in which case entities beyond the prior
+    count keep their seeded initialisation.  Every mismatch raises with the
+    offending shapes spelled out.
+    """
+    entity_prior, relation_prior = _resolve_initial_state(initial_state)
+    dim = model.config.embedding_dim
+    if relation_prior.shape != model.relation_embeddings.shape:
+        raise ValueError(
+            f"warm-start relation table shape {relation_prior.shape} does not "
+            f"match the model's {model.relation_embeddings.shape} — was the "
+            "prior trained with a different embedding_dim?")
+    if entity_prior.ndim != 2 or entity_prior.shape[1] != dim:
+        raise ValueError(
+            f"warm-start entity table shape {entity_prior.shape} does not "
+            f"match embedding_dim={dim}")
+    if entity_prior.shape[0] > model.num_entities:
+        raise ValueError(
+            f"warm-start entity table has {entity_prior.shape[0]} rows but the "
+            f"graph has only {model.num_entities} entities — entity ids are "
+            "append-only, so the prior must come from an ancestor of this graph")
+    model.entity_embeddings[:entity_prior.shape[0]] = entity_prior
+    model.relation_embeddings[:] = relation_prior
+
+
+def train_transe(graph: KnowledgeGraph, config: Optional[TransEConfig] = None,
+                 initial_state: Optional[TransEInitialState] = None
                  ) -> Tuple[TransEModel, List[float]]:
     """Train TransE on all triplets of ``graph``.
 
     Returns the model and the per-epoch average margin loss (for convergence
     inspection in tests and notebooks).
+
+    ``initial_state`` warm-starts the tables from a prior model (or a raw
+    ``(entity, relation)`` array pair): prior rows replace the seeded
+    initialisation and entities added since the prior keep their seeded
+    vectors, so a few-epoch *refresh* on a grown graph starts from the
+    converged state instead of from scratch.  Shapes are validated up front
+    with explicit errors (see :func:`apply_initial_state`).
 
     The loop is fully vectorised per mini-batch: the triplet table comes from
     the graph's compiled CSR view, index columns are contiguous arrays, both
@@ -232,6 +289,8 @@ def train_transe(graph: KnowledgeGraph, config: Optional[TransEConfig] = None
     config = config or TransEConfig()
     config.validate()
     model = TransEModel(graph.num_entities, config)
+    if initial_state is not None:
+        apply_initial_state(model, initial_state)
     rng = np.random.default_rng(config.seed + 1)
 
     triplets = graph.adjacency().triplets

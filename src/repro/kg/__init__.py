@@ -1,6 +1,6 @@
 """Knowledge-graph substrate: entities, relations, the KG, ``Gc`` and pruning."""
 
-from .adjacency import CSRAdjacency, compile_adjacency
+from .adjacency import CSRAdjacency, compile_adjacency, patch_adjacency
 from .builder import KGBuilder, build_knowledge_graph
 from .category_graph import CategoryGraph
 from .entities import Entity, EntityStore, EntityType
@@ -53,6 +53,7 @@ __all__ = [
     "entity_prune_rng",
     "inverse_of",
     "is_inverse",
+    "patch_adjacency",
     "relation_from_index",
     "relation_index",
     "schema_is_valid",

@@ -20,6 +20,14 @@ every hot query becomes an array slice or gather:
 Compilation is cheap (one pass over the edges) and cached on the graph via
 :meth:`KnowledgeGraph.adjacency`; any mutation of the graph bumps its version
 counter and invalidates the cached view.
+
+For *streaming* updates a full recompile is wasteful: a burst of new
+interactions touches a handful of entity rows while the rest of the CSR arrays
+is unchanged.  :func:`patch_adjacency` therefore delta-rebuilds only the dirty
+rows — clean row spans are bulk-copied from the previous view, the append-only
+triplet table is extended in place, and the result is element-identical to a
+full :func:`compile_adjacency` (the full compile is kept, verbatim, as the
+equivalence oracle for the property suite).
 """
 
 from __future__ import annotations
@@ -105,6 +113,99 @@ def compile_adjacency(graph: "KnowledgeGraph") -> CSRAdjacency:
     # row order is part of the reproducible training trajectory.
     triplets = np.empty((num_edges, 3), dtype=np.int64)
     for row, triplet in enumerate(graph._triplets):
+        triplets[row, 0] = triplet.head
+        triplets[row, 1] = relation_index(triplet.relation)
+        triplets[row, 2] = triplet.tail
+
+    return CSRAdjacency(indptr=indptr, relations=relations, targets=targets,
+                        degrees=np.diff(indptr).astype(np.int32),
+                        entity_category=entity_category, is_item=is_item,
+                        triplets=triplets)
+
+
+def patch_adjacency(old: CSRAdjacency, graph: "KnowledgeGraph",
+                    dirty_entities: "set") -> CSRAdjacency:
+    """Delta-rebuild ``old`` into the current state of ``graph``.
+
+    ``dirty_entities`` must contain every entity whose outgoing row or
+    category assignment changed since ``old`` was compiled (the graph tracks
+    this set itself — see ``KnowledgeGraph._dirty_entities``).  Entities added
+    after the compile are implicitly dirty: they have no row in ``old`` and
+    are rebuilt by id range.  The graph history must be append-only (edges and
+    entities are never deleted anywhere in this repository), which is what
+    makes the previous triplet table and every clean row reusable verbatim.
+
+    The result is element-identical to ``compile_adjacency(graph)``: dirty
+    rows are rebuilt from the dict-of-lists source of truth in insertion
+    order, clean row spans between consecutive dirty entities are copied as
+    single array slices, and new triplet rows are appended in global
+    insertion order.
+    """
+    num_entities = graph.num_entities
+    old_entities = old.num_entities
+    all_triplets = graph._triplets
+    if num_entities < old_entities or len(all_triplets) < old.num_edges:
+        raise ValueError("patch_adjacency requires an append-only graph history")
+    outgoing = graph._outgoing
+    dirty = sorted(entity for entity in dirty_entities if entity < old_entities)
+
+    counts = np.zeros(num_entities, dtype=np.int64)
+    counts[:old_entities] = old.degrees
+    for entity_id in dirty:
+        counts[entity_id] = len(outgoing.get(entity_id, ()))
+    for entity_id in range(old_entities, num_entities):
+        counts[entity_id] = len(outgoing.get(entity_id, ()))
+    indptr = np.zeros(num_entities + 1, dtype=np.int32)
+    np.cumsum(counts, out=indptr[1:])
+    num_edges = int(indptr[-1])
+    if num_edges != len(all_triplets):
+        raise ValueError("dirty-entity set is incomplete: edge totals disagree "
+                         f"({num_edges} CSR edges vs {len(all_triplets)} triplets)")
+
+    relations = np.zeros(num_edges, dtype=np.int32)
+    targets = np.zeros(num_edges, dtype=np.int32)
+
+    def rebuild_row(entity_id: int) -> None:
+        start = indptr[entity_id]
+        for offset, (relation, target) in enumerate(outgoing.get(entity_id, ())):
+            relations[start + offset] = relation_index(relation)
+            targets[start + offset] = target
+
+    def copy_span(first: int, stop: int) -> None:
+        """Bulk-copy the clean rows ``first .. stop`` (old-entity ids)."""
+        old_lo, old_hi = old.indptr[first], old.indptr[stop]
+        new_lo = indptr[first]
+        relations[new_lo:new_lo + (old_hi - old_lo)] = old.relations[old_lo:old_hi]
+        targets[new_lo:new_lo + (old_hi - old_lo)] = old.targets[old_lo:old_hi]
+
+    previous = 0
+    for entity_id in dirty:
+        if entity_id > previous:
+            copy_span(previous, entity_id)
+        rebuild_row(entity_id)
+        previous = entity_id + 1
+    if previous < old_entities:
+        copy_span(previous, old_entities)
+    for entity_id in range(old_entities, num_entities):
+        rebuild_row(entity_id)
+
+    entity_category = np.full(num_entities, -1, dtype=np.int32)
+    entity_category[:old_entities] = old.entity_category
+    is_item = np.zeros(num_entities, dtype=bool)
+    is_item[:old_entities] = old.is_item
+    item_category = graph._item_category
+    for entity_id in dirty:
+        category = item_category.get(entity_id)
+        entity_category[entity_id] = -1 if category is None else category
+    for entity_id in range(old_entities, num_entities):
+        category = item_category.get(entity_id)
+        entity_category[entity_id] = -1 if category is None else category
+        is_item[entity_id] = graph.entities.is_item(entity_id)
+
+    triplets = np.empty((num_edges, 3), dtype=np.int64)
+    triplets[:old.num_edges] = old.triplets
+    for row in range(old.num_edges, num_edges):
+        triplet = all_triplets[row]
         triplets[row, 0] = triplet.head
         triplets[row, 1] = relation_index(triplet.relation)
         triplets[row, 2] = triplet.tail

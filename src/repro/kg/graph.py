@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from .adjacency import CSRAdjacency, compile_adjacency
+from .adjacency import CSRAdjacency, compile_adjacency, patch_adjacency
 from .entities import Entity, EntityStore, EntityType
 from .relations import Relation, inverse_of, schema_is_valid
 
@@ -55,6 +55,12 @@ class KnowledgeGraph:
         self._version = 0
         self._adjacency: Optional[CSRAdjacency] = None
         self._adjacency_key: Tuple[int, int] = (-1, -1)
+        # Entities whose outgoing row or category changed since the cached
+        # view was built; lets :meth:`adjacency` delta-patch instead of
+        # recompiling when the change is small relative to the graph.
+        self._dirty_entities: Set[int] = set()
+        self._full_compiles = 0
+        self._delta_patches = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -81,6 +87,7 @@ class KnowledgeGraph:
         self._triplets.append(Triplet(head, relation, tail))
         self._outgoing[head].append((relation, tail))
         self._incoming[tail].append((relation, head))
+        self._dirty_entities.add(head)
         self._version += 1
         if add_inverse:
             self.add_triplet(tail, inverse_of(relation), head, add_inverse=False)
@@ -93,6 +100,7 @@ class KnowledgeGraph:
         if category_id < 0:
             raise ValueError("category id must be non-negative")
         self._item_category[item_id] = category_id
+        self._dirty_entities.add(item_id)
         self._version += 1
 
     def set_category_names(self, names: Sequence[str]) -> None:
@@ -153,18 +161,49 @@ class KnowledgeGraph:
         """Mutation counter; bumped by every triplet/category write."""
         return self._version
 
+    #: Delta-patch the cached CSR view instead of recompiling when at most
+    #: this fraction of its rows is dirty; beyond it the bulk span copies stop
+    #: paying for themselves and the one-pass full compile wins.
+    ADJACENCY_PATCH_FRACTION = 0.25
+
     def adjacency(self) -> CSRAdjacency:
         """The compiled CSR view of this graph (cached until the graph mutates).
 
         This is the substrate of every vectorised hot path: action pruning,
         beam search and TransE pre-training all slice these arrays instead of
-        walking the dict-of-lists adjacency.
+        walking the dict-of-lists adjacency.  Small mutations (a streaming
+        ingestion burst) are folded in by :func:`patch_adjacency` — rebuilding
+        only the dirty rows — and large ones fall back to the full recompile;
+        both produce element-identical arrays.
         """
         key = (self._version, self.num_entities)
         if self._adjacency is None or self._adjacency_key != key:
-            self._adjacency = compile_adjacency(self)
+            if self._patch_is_profitable():
+                self._adjacency = patch_adjacency(self._adjacency, self,
+                                                  self._dirty_entities)
+                self._delta_patches += 1
+            else:
+                self._adjacency = compile_adjacency(self)
+                self._full_compiles += 1
             self._adjacency_key = key
+            self._dirty_entities.clear()
         return self._adjacency
+
+    def _patch_is_profitable(self) -> bool:
+        """Patch only small deltas over an existing view of the same history."""
+        old = self._adjacency
+        if old is None or old.num_entities > self.num_entities:
+            return False
+        if len(self._triplets) < old.num_edges:
+            return False
+        budget = max(1, int(self.ADJACENCY_PATCH_FRACTION * old.num_entities))
+        new_entities = self.num_entities - old.num_entities
+        return len(self._dirty_entities) + new_entities <= budget
+
+    def adjacency_compile_stats(self) -> Dict[str, int]:
+        """How the cached CSR view has been kept fresh so far."""
+        return {"full_compiles": self._full_compiles,
+                "delta_patches": self._delta_patches}
 
     # ------------------------------------------------------------------ #
     # neighbourhood queries

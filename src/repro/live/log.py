@@ -1,0 +1,272 @@
+"""Append-only update log: the ingestion substrate of the live stack.
+
+Streaming changes arrive as typed *deltas* — new interactions, new items, new
+generic relations — appended to an :class:`UpdateLog`.  The log is the single
+source of truth for "what changed since generation N": refresh folds a log
+slice into a staging graph, the generation store persists the slice
+(``live/deltas.json``) so any generation can be reconstructed from the base
+artifacts plus its deltas, and :meth:`UpdateLog.signature` hashes the
+canonical serialisation so two replays can prove they ingested the identical
+stream.
+
+Ordering is replayable by construction: deltas apply strictly in append
+order, and :func:`synthesize_deltas` derives a burst from one seeded
+generator over the *current* graph state — the same seed against the same
+graph produces the identical burst, bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..kg.entities import EntityType
+from ..kg.graph import KnowledgeGraph
+from ..kg.relations import Relation
+
+
+@dataclass(frozen=True)
+class InteractionDelta:
+    """A new purchase edge between an existing user and an existing item."""
+
+    user_entity: int
+    item_entity: int
+
+    def to_dict(self) -> Dict:
+        return {"kind": "interaction", "user_entity": self.user_entity,
+                "item_entity": self.item_entity}
+
+
+@dataclass(frozen=True)
+class ItemDelta:
+    """A brand-new catalog item: entity + category + attribute edges."""
+
+    name: str
+    category_id: int
+    brand_entity: Optional[int] = None
+    feature_entities: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict:
+        return {"kind": "item", "name": self.name,
+                "category_id": self.category_id,
+                "brand_entity": self.brand_entity,
+                "feature_entities": list(self.feature_entities)}
+
+
+@dataclass(frozen=True)
+class RelationDelta:
+    """A generic new edge between two existing entities."""
+
+    head: int
+    relation: Relation
+    tail: int
+
+    def to_dict(self) -> Dict:
+        return {"kind": "relation", "head": self.head,
+                "relation": self.relation.value, "tail": self.tail}
+
+
+@dataclass(frozen=True)
+class NewItemInteraction:
+    """A purchase of an item introduced earlier *in the same log* by name.
+
+    New items have no entity id until their :class:`ItemDelta` applies, so
+    this delta resolves the id by ``(ITEM, name)`` lookup at apply time.
+    """
+
+    user_entity: int
+    item_name: str
+
+    def to_dict(self) -> Dict:
+        return {"kind": "new_item_interaction", "user_entity": self.user_entity,
+                "item_name": self.item_name}
+
+
+UpdateDelta = Union[InteractionDelta, ItemDelta, RelationDelta,
+                    NewItemInteraction]
+
+
+def delta_from_dict(payload: Dict) -> UpdateDelta:
+    kind = payload["kind"]
+    if kind == "interaction":
+        return InteractionDelta(user_entity=int(payload["user_entity"]),
+                                item_entity=int(payload["item_entity"]))
+    if kind == "item":
+        brand = payload.get("brand_entity")
+        return ItemDelta(name=str(payload["name"]),
+                         category_id=int(payload["category_id"]),
+                         brand_entity=None if brand is None else int(brand),
+                         feature_entities=tuple(
+                             int(f) for f in payload.get("feature_entities", ())))
+    if kind == "relation":
+        return RelationDelta(head=int(payload["head"]),
+                             relation=Relation(payload["relation"]),
+                             tail=int(payload["tail"]))
+    if kind == "new_item_interaction":
+        return NewItemInteraction(user_entity=int(payload["user_entity"]),
+                                  item_name=str(payload["item_name"]))
+    raise ValueError(f"unknown delta kind {kind!r}")
+
+
+@dataclass
+class AppliedDelta:
+    """What one :meth:`UpdateLog.apply` call did to a graph."""
+
+    first_seq: int
+    last_seq: int                      # exclusive
+    touched_entities: Set[int] = field(default_factory=set)
+    new_entities: Set[int] = field(default_factory=set)
+    new_edges: int = 0                 # directed edges incl. inverses
+
+    @property
+    def count(self) -> int:
+        return self.last_seq - self.first_seq
+
+
+class UpdateLog:
+    """Append-only, replayable stream of graph deltas.
+
+    Sequence numbers are plain list offsets: ``events[n]`` is the delta with
+    sequence number ``n``, and a generation's ``log_offset`` says "deltas
+    ``[0, log_offset)`` are folded into this generation's tables".
+    """
+
+    def __init__(self, events: Iterable[UpdateDelta] = ()) -> None:
+        self.events: List[UpdateDelta] = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def append(self, delta: UpdateDelta) -> int:
+        """Append one delta; returns its sequence number."""
+        self.events.append(delta)
+        return len(self.events) - 1
+
+    def extend(self, deltas: Iterable[UpdateDelta]) -> int:
+        """Append many deltas; returns the new log length."""
+        self.events.extend(deltas)
+        return len(self.events)
+
+    def pending(self, offset: int) -> List[UpdateDelta]:
+        """The deltas not yet folded into a generation at ``offset``."""
+        return self.events[offset:]
+
+    # ------------------------------------------------------------------ #
+    def apply(self, graph: KnowledgeGraph, offset: int = 0,
+              upto: Optional[int] = None) -> AppliedDelta:
+        """Fold ``events[offset:upto]`` into ``graph`` in append order.
+
+        Returns the applied slice's bookkeeping: which entities were touched
+        (new edges or category writes — exactly the set a scoped cache
+        invalidation needs), which entities are new, and how many directed
+        edges (inverses included) were added.
+        """
+        upto = len(self.events) if upto is None else upto
+        applied = AppliedDelta(first_seq=offset, last_seq=upto)
+        for delta in self.events[offset:upto]:
+            if isinstance(delta, InteractionDelta):
+                if graph.add_triplet(delta.user_entity, Relation.PURCHASE,
+                                     delta.item_entity):
+                    applied.new_edges += 2
+                applied.touched_entities.update(
+                    (delta.user_entity, delta.item_entity))
+            elif isinstance(delta, ItemDelta):
+                before = graph.num_entities
+                entity = graph.entities.add(EntityType.ITEM, delta.name)
+                item = entity.entity_id
+                if item >= before:
+                    applied.new_entities.add(item)
+                graph.set_item_category(item, delta.category_id)
+                applied.touched_entities.add(item)
+                if delta.brand_entity is not None:
+                    if graph.add_triplet(item, Relation.PRODUCED_BY,
+                                         delta.brand_entity):
+                        applied.new_edges += 2
+                    applied.touched_entities.add(delta.brand_entity)
+                for feature in delta.feature_entities:
+                    if graph.add_triplet(item, Relation.DESCRIBED_BY, feature):
+                        applied.new_edges += 2
+                    applied.touched_entities.add(feature)
+            elif isinstance(delta, NewItemInteraction):
+                entity = graph.entities.find(EntityType.ITEM, delta.item_name)
+                if entity is None:
+                    raise ValueError(
+                        f"new-item interaction references item "
+                        f"{delta.item_name!r} before its ItemDelta applied")
+                if graph.add_triplet(delta.user_entity, Relation.PURCHASE,
+                                     entity.entity_id):
+                    applied.new_edges += 2
+                applied.touched_entities.update(
+                    (delta.user_entity, entity.entity_id))
+            elif isinstance(delta, RelationDelta):
+                if graph.add_triplet(delta.head, delta.relation, delta.tail):
+                    applied.new_edges += 2
+                applied.touched_entities.update((delta.head, delta.tail))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown delta type {type(delta).__name__}")
+        return applied
+
+    # ------------------------------------------------------------------ #
+    # serialisation & identity
+    # ------------------------------------------------------------------ #
+    def to_dicts(self, offset: int = 0, upto: Optional[int] = None) -> List[Dict]:
+        upto = len(self.events) if upto is None else upto
+        return [delta.to_dict() for delta in self.events[offset:upto]]
+
+    @classmethod
+    def from_dicts(cls, payloads: Sequence[Dict]) -> "UpdateLog":
+        return cls(delta_from_dict(payload) for payload in payloads)
+
+    def signature(self, offset: int = 0, upto: Optional[int] = None) -> str:
+        """SHA-256 over the canonical serialisation of a log slice."""
+        canonical = json.dumps(self.to_dicts(offset, upto), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# seeded delta synthesis (simulation / examples / CI)
+# --------------------------------------------------------------------------- #
+def synthesize_deltas(graph: KnowledgeGraph, count: int, seed: int = 0,
+                      new_item_fraction: float = 0.1) -> List[UpdateDelta]:
+    """A seeded burst of plausible deltas against the current graph state.
+
+    Mostly new interactions between existing users and items, with a
+    ``new_item_fraction`` share of brand-new catalog items (assigned to an
+    existing category and brand, then immediately purchased so they enter a
+    user neighbourhood).  Deterministic per ``(graph state, count, seed)``.
+    """
+    if count <= 0:
+        return []
+    rng = np.random.default_rng(seed)
+    users = list(graph.entities.ids_of_type(EntityType.USER))
+    items = list(graph.entities.ids_of_type(EntityType.ITEM))
+    brands = list(graph.entities.ids_of_type(EntityType.BRAND))
+    categories = sorted({category for category in graph.item_category_map().values()})
+    if not users or not items:
+        raise ValueError("delta synthesis needs at least one user and one item")
+
+    deltas: List[UpdateDelta] = []
+    fresh_serial = 0
+    for _ in range(count):
+        if categories and rng.random() < new_item_fraction:
+            name = f"live_item_{seed}_{fresh_serial}"
+            fresh_serial += 1
+            deltas.append(ItemDelta(
+                name=name,
+                category_id=int(categories[rng.integers(len(categories))]),
+                brand_entity=(int(brands[rng.integers(len(brands))])
+                              if brands else None)))
+            # The new item is purchased right away by a random user; the
+            # session resolves the item's entity id at apply time.
+            deltas.append(NewItemInteraction(
+                user_entity=int(users[rng.integers(len(users))]),
+                item_name=name))
+        else:
+            deltas.append(InteractionDelta(
+                user_entity=int(users[rng.integers(len(users))]),
+                item_entity=int(items[rng.integers(len(items))])))
+    return deltas

@@ -1,0 +1,207 @@
+"""The live session: streaming ingestion and generation swaps around serving.
+
+:class:`LiveSession` wraps a running :class:`repro.cluster.ClusterService`
+and manages the whole zero-downtime update loop:
+
+* a **staging graph** — a private deepcopy of the serving generation's graph
+  that ingestion mutates.  The serving generation's graph object is never
+  touched, so every in-flight and cached answer stays internally consistent;
+  the staging graph's CSR view is kept fresh *incrementally*
+  (:func:`repro.kg.patch_adjacency` folds each burst in instead of
+  recompiling from scratch);
+* an **update log** recording every ingested delta in replayable order;
+* **scheduled events** on the serving clock: :class:`IngestEvent` (apply a
+  delta burst — given explicitly or synthesized from a seed) and
+  :class:`SwapEvent` (warm-start refresh → persist → flip the cluster).
+  Events fire at the top of ``serve_many``/``serve`` once their timestamp is
+  due, so under a :class:`repro.simulate.TraceClock` replay the whole
+  timeline — bursts, refreshes, flips — is a pure function of the trace and
+  the seeds;
+* the **generation ledger** (``bundles``): every generation ever served,
+  kept addressable so cross-generation oracles can re-derive any answer
+  against the exact tables that produced it.
+
+The session itself quacks like a service (``serve``/``serve_many`` plus the
+reference attributes oracles read), so :class:`repro.simulate.ReplayDriver`
+drives it unchanged.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..pipeline.artifacts import ArtifactStore
+from .log import AppliedDelta, UpdateDelta, UpdateLog, synthesize_deltas
+from .refresh import GenerationBundle, RefreshConfig, refresh_generation, save_generation
+from .swap import EpochSwapCoordinator, SwapReport
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """A delta burst due at ``at_s`` on the serving clock.
+
+    Provide explicit ``deltas``, or a ``count``/``seed`` pair to synthesize
+    them against the staging graph *at fire time* (deterministic: the staging
+    graph's state at any event time is itself a pure function of the trace).
+    """
+
+    at_s: float
+    deltas: Tuple[UpdateDelta, ...] = ()
+    count: int = 0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """A refresh-and-flip due at ``at_s`` on the serving clock."""
+
+    at_s: float
+
+
+LiveEvent = Union[IngestEvent, SwapEvent]
+
+
+class LiveSession:
+    """Zero-downtime streaming updates over a running cluster."""
+
+    def __init__(self, cluster, base: GenerationBundle, *,
+                 clock: Optional[Callable[[], float]] = None,
+                 log: Optional[UpdateLog] = None,
+                 refresh_config: Optional[RefreshConfig] = None,
+                 schedule: Sequence[LiveEvent] = (),
+                 store: Optional[ArtifactStore] = None) -> None:
+        self.cluster = cluster
+        self.log = log if log is not None else UpdateLog()
+        self.refresh_config = refresh_config or RefreshConfig()
+        self.store = store
+        self.clock = clock
+        self.coordinator = EpochSwapCoordinator(cluster, clock=clock)
+        #: Every generation ever served, by number (the oracle ledger).
+        self.bundles: Dict[int, GenerationBundle] = {base.generation: base}
+        self.current = base
+        self._staging = copy.deepcopy(base.graph)
+        self._touched: Set[int] = set()
+        self._pending = sorted(schedule, key=lambda event: event.at_s)
+        if self._pending and clock is None:
+            raise ValueError("a scheduled live session needs an explicit "
+                             "clock (e.g. the replay's TraceClock)")
+        self.applied: List[AppliedDelta] = []
+
+    # ------------------------------------------------------------------ #
+    # the serving facade (ReplayDriver-compatible)
+    # ------------------------------------------------------------------ #
+    def serve_many(self, requests):
+        self._fire_due_events()
+        return self.cluster.serve_many(requests)
+
+    def serve(self, request):
+        self._fire_due_events()
+        return self.cluster.serve(request)
+
+    # reference surface (oracles, reports) ------------------------------ #
+    @property
+    def graph(self):
+        return self.cluster.graph
+
+    @property
+    def recommender(self):
+        return self.cluster.recommender
+
+    @property
+    def tiers(self):
+        return self.cluster.tiers
+
+    @property
+    def generation(self) -> int:
+        return self.current.generation
+
+    # ------------------------------------------------------------------ #
+    # the update loop
+    # ------------------------------------------------------------------ #
+    def _fire_due_events(self) -> None:
+        if not self._pending:
+            return
+        now = self.clock()
+        while self._pending and self._pending[0].at_s <= now:
+            event = self._pending.pop(0)
+            if isinstance(event, IngestEvent):
+                deltas = list(event.deltas)
+                if event.count:
+                    deltas.extend(synthesize_deltas(
+                        self._staging, event.count, seed=event.seed))
+                self.ingest(deltas)
+            elif isinstance(event, SwapEvent):
+                self.swap()
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown live event {type(event).__name__}")
+
+    def ingest(self, deltas: Sequence[UpdateDelta]) -> AppliedDelta:
+        """Append ``deltas`` to the log and fold them into the staging graph.
+
+        Serving is untouched: the current generation keeps answering from its
+        frozen tables.  The staging graph's CSR view is refreshed via the
+        incremental delta patch, so repeated small bursts stay cheap.
+        """
+        offset = len(self.log)
+        self.log.extend(deltas)
+        applied = self.log.apply(self._staging, offset)
+        self._touched |= applied.touched_entities | applied.new_entities
+        self._staging.adjacency()  # fold the burst into the CSR view now
+        self.applied.append(applied)
+        return applied
+
+    def swap(self) -> Optional[SwapReport]:
+        """Refresh to generation N+1 from the staged deltas and flip the cluster.
+
+        A no-op (returns ``None``) when nothing was ingested since the last
+        swap — serving behaviour must stay bit-identical across a vacuous
+        refresh.  Otherwise: warm-start refresh off the serving path, persist
+        the generation (when a store is attached), then flip every shard with
+        scoped cache invalidation.
+        """
+        bundle = refresh_generation(self.current, self._staging,
+                                    log_offset=len(self.log),
+                                    config=self.refresh_config)
+        if bundle is self.current:
+            return None
+        if self.store is not None:
+            save_generation(self.store, bundle, self.log)
+        report = self.coordinator.swap_to(bundle, self._touched)
+        self.bundles[bundle.generation] = bundle
+        self.current = bundle
+        self._staging = copy.deepcopy(bundle.graph)
+        self._touched = set()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def generation_views(self) -> Dict[int, object]:
+        """A fresh single-shard view service per generation ever served.
+
+        These are *off-path* reconstructions for the cross-generation
+        oracles: same frozen tables and search hyper-parameters as the
+        services that answered, but private caches — deriving an answer
+        through a view never perturbs the live cluster.
+        """
+        clock = self.clock or self.cluster.workers[0].service._clock
+        return {generation: bundle.build_service(
+                    serving_config=self.cluster.workers[0].service.config,
+                    clock=clock, name=f"view@gen{generation}")
+                for generation, bundle in sorted(self.bundles.items())}
+
+    def telemetry_snapshot(self) -> Dict:
+        snapshot = self.cluster.telemetry_snapshot()
+        snapshot["live"] = {
+            "generation": self.current.generation,
+            "generations_served": sorted(self.bundles),
+            "log_length": len(self.log),
+            "log_signature": self.log.signature(),
+            "pending_events": len(self._pending),
+            "staged_deltas": len(self.log) - self.current.log_offset,
+            "staging_compile_stats": self._staging.adjacency_compile_stats(),
+            "swaps": [report.as_dict() for report in self.coordinator.reports],
+        }
+        return snapshot

@@ -12,7 +12,11 @@
   actually runs), for both the vectorised and the scalar recommender;
 * **Cluster throughput** — the same warm burst through a 1-shard service vs
   an N-shard :class:`repro.cluster.ClusterService`, reporting the cluster
-  layer's routing overhead (trend metric, not gated).
+  layer's routing overhead (trend metric, not gated);
+* **Incremental CSR patching** — refreshing the compiled adjacency after a
+  small streaming delta burst, delta patch
+  (:func:`repro.kg.patch_adjacency`) vs full recompile — the live-update
+  hot path; gated on the speedup ratio.
 
 Both sides of every pair run interleaved in the same process on the same
 data, and the gateable numbers are the *speedup ratios* — machine-independent
@@ -44,7 +48,8 @@ from .reference import ScalarPathRecommender, train_transe_reference
 
 #: Metrics (dotted paths into the ``metrics`` dict) guarded by the regression
 #: gate.  Ratios only: absolute epochs/s and QPS depend on the machine.
-GATED_METRICS = ("transe.speedup", "beam_cold.speedup", "beam_warm.speedup")
+GATED_METRICS = ("transe.speedup", "beam_cold.speedup", "beam_warm.speedup",
+                 "csr_patch.speedup")
 
 
 @dataclass
@@ -66,6 +71,7 @@ class BenchProfile:
     rollout_users: int = 20
     cluster_shards: int = 4      # N-shard side of the cluster-throughput pair
     cluster_replicas: int = 2
+    patch_deltas: int = 10       # streaming-burst size for the CSR patch bench
     repeats: int = 5             # interleaved repetitions, median taken
 
     def validate(self) -> None:
@@ -73,7 +79,8 @@ class BenchProfile:
             raise ValueError("scale must be positive")
         if min(self.transe_epochs, self.beam_users, self.repeats,
                self.rollout_users, self.beam_top_k, self.beam_width,
-               self.max_entity_actions, self.cluster_shards) <= 0:
+               self.max_entity_actions, self.cluster_shards,
+               self.patch_deltas) <= 0:
             raise ValueError("benchmark sizes must be positive")
         if not 1 <= self.cluster_replicas <= self.cluster_shards:
             raise ValueError("cluster_replicas must lie in [1, cluster_shards]")
@@ -290,6 +297,43 @@ def bench_cluster(result: PipelineResult,
     }
 
 
+def bench_csr_patch(result: PipelineResult,
+                    profile: BenchProfile) -> Dict[str, float]:
+    """Delta-patched vs fully recompiled CSR adjacency after a small burst.
+
+    The live-update hot path: a seeded streaming burst mutates a copy of the
+    trained graph, then both refresh strategies rebuild the compiled view of
+    the *same* mutated graph from the same pre-burst snapshot.  On small
+    bursts the patch touches only the dirty rows and bulk-copies everything
+    else, so the speedup grows with graph size; gated because the ratio is
+    machine-independent.
+    """
+    import copy
+
+    from ..kg.adjacency import compile_adjacency, patch_adjacency
+    from ..live import UpdateLog, synthesize_deltas
+
+    graph = copy.deepcopy(result.graph)
+    old = graph.adjacency()
+    log = UpdateLog(synthesize_deltas(graph, profile.patch_deltas,
+                                      seed=profile.seed))
+    applied = log.apply(graph)
+    dirty = applied.touched_entities | applied.new_entities
+
+    patch_s, full_s = _median_ab(
+        lambda: patch_adjacency(old, graph, dirty),
+        lambda: compile_adjacency(graph),
+        profile.repeats)
+    return {
+        "patch_ms": patch_s * 1000.0,
+        "full_compile_ms": full_s * 1000.0,
+        "deltas": float(applied.count),
+        "dirty_entities": float(len(dirty)),
+        "num_entities": float(graph.num_entities),
+        "speedup": full_s / patch_s,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # orchestration
 # --------------------------------------------------------------------------- #
@@ -330,6 +374,7 @@ def run_bench(profile: Union[str, BenchProfile],
     metrics["rollouts"] = bench_rollouts(result, profile)
     metrics.update(bench_beam_search(result, profile))
     metrics["cluster"] = bench_cluster(result, profile)
+    metrics["csr_patch"] = bench_csr_patch(result, profile)
 
     return {
         "meta": {
@@ -454,4 +499,11 @@ def render_report(document: Dict) -> str:
             f"{cluster['shards']:.0f} shards ×{cluster['replicas']:.0f} "
             f"(1 shard {cluster['single_shard_qps']:.1f}, "
             f"relative {cluster['relative_throughput']:.2f}x)")
+    if "csr_patch" in metrics:
+        patch = metrics["csr_patch"]
+        lines.append(
+            f"  csr patch  {patch['patch_ms']:8.2f} ms for "
+            f"{patch['deltas']:.0f} deltas "
+            f"(full recompile {patch['full_compile_ms']:.2f} ms, "
+            f"speedup {patch['speedup']:.2f}x)")
     return "\n".join(lines)

@@ -17,6 +17,14 @@ pipeline compares that fingerprint against the current
 :meth:`RunConfig.stage_fingerprints` entry to decide whether the persisted
 artifact can be reused.  Manifest writes go through a temp-file rename so a
 crash mid-write never leaves a truncated manifest behind.
+
+**Generations.**  Live refreshes (``repro.live``) produce successive artifact
+*generations* of the same run: the root directory is generation 0 and every
+refresh lands under ``<root>/generations/<N>/`` as a full nested store whose
+manifest carries a monotonically-increasing ``generation`` field.  Stores
+written before generations existed have no ``generation`` key and read as
+generation 0, so single-generation stores load unchanged;
+:meth:`ArtifactStore.load` defaults to the latest generation.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -32,6 +40,7 @@ PathLike = Union[str, Path]
 
 MANIFEST_NAME = "manifest.json"
 CONFIG_NAME = "config.json"
+GENERATIONS_DIR = "generations"
 
 
 class ArtifactStore:
@@ -114,6 +123,71 @@ class ArtifactStore:
         manifest["stages"][stage] = {"fingerprint": fingerprint,
                                      "metadata": metadata or {}}
         self._write_manifest(manifest)
+
+    # ------------------------------------------------------------------ #
+    # generations
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """This store's generation number (0 for pre-generation stores)."""
+        return int(self.read_manifest().get("generation", 0))
+
+    def list_generations(self) -> List[int]:
+        """All generations persisted under this store, ascending.
+
+        Generation 0 is the root itself (listed once it has a manifest);
+        higher generations are the nested stores under ``generations/``.
+        """
+        generations = []
+        if self.manifest_path.exists():
+            generations.append(self.generation)
+        base = self.root / GENERATIONS_DIR
+        if base.is_dir():
+            for child in base.iterdir():
+                if child.name.isdigit() and (child / MANIFEST_NAME).exists():
+                    generations.append(int(child.name))
+        return sorted(set(generations))
+
+    def latest_generation(self) -> int:
+        """The newest persisted generation (0 for an empty or legacy store)."""
+        generations = self.list_generations()
+        return generations[-1] if generations else 0
+
+    def generation_store(self, generation: int) -> "ArtifactStore":
+        """The (possibly not yet written) store of one generation."""
+        if generation < 0:
+            raise ValueError("generation must be non-negative")
+        if generation == self.generation:
+            return self
+        return ArtifactStore(self.root / GENERATIONS_DIR / str(generation))
+
+    def load(self, generation: Optional[int] = None) -> "ArtifactStore":
+        """The store holding ``generation``'s artifacts (default: latest).
+
+        Raises ``FileNotFoundError`` for a generation that was never
+        persisted, so a typo fails loudly instead of reading stale arrays.
+        """
+        if generation is None:
+            generation = self.latest_generation()
+        if generation not in self.list_generations() and generation != 0:
+            raise FileNotFoundError(
+                f"generation {generation} not found under {self.root} "
+                f"(have {self.list_generations() or [0]})")
+        return self.generation_store(generation)
+
+    def begin_generation(self) -> "ArtifactStore":
+        """Open the next generation and return its (empty) nested store.
+
+        The generation number is stamped into the nested manifest immediately
+        so a crash between ``begin_generation`` and the first stage write
+        still leaves a well-formed (just incomplete) generation behind.
+        """
+        generation = self.latest_generation() + 1
+        store = self.generation_store(generation)
+        manifest = store.read_manifest()
+        manifest["generation"] = generation
+        store._write_manifest(manifest)
+        return store
 
     # ------------------------------------------------------------------ #
     # payload helpers

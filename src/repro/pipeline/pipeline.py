@@ -251,7 +251,8 @@ def save_pipeline(result: PipelineResult, path: PathLike) -> Path:
 
 
 def load_pipeline(path: PathLike, until: Optional[Sequence[str]] = None,
-                  config: Optional[RunConfig] = None) -> PipelineResult:
+                  config: Optional[RunConfig] = None,
+                  generation: Optional[int] = None) -> PipelineResult:
     """Restore a persisted pipeline from ``path`` without any training.
 
     Reads the directory's ``config.json`` (unless an explicit ``config`` is
@@ -259,15 +260,31 @@ def load_pipeline(path: PathLike, until: Optional[Sequence[str]] = None,
     missing or fingerprint-mismatched stage raises :class:`PipelineError`
     instead of silently retraining.
 
+    ``generation`` selects one artifact generation of a live-refreshed store
+    (default: the latest; pre-generation stores only have generation 0).  A
+    generation store falls back to the root ``config.json`` when it has none
+    of its own — refreshes change arrays, not configuration.
+
     By default only the model stack (through ``train``) is restored — the
     typical serving boot path; pass ``until=("eval", "serve-check")`` to also
     restore persisted reports.
     """
-    store = ArtifactStore(path)
+    root_store = ArtifactStore(path)
+    store = root_store.load(generation=generation)
+    if store.root != root_store.root:
+        # A live-refreshed generation: its nested store holds only the delta
+        # slice and refreshed arrays, so the live loader rebuilds it on top
+        # of the base artifacts (deferred import — pipeline stays live-free).
+        from ..live.refresh import load_generation_result
+
+        return load_generation_result(root_store, store, until=until,
+                                      config=config)
     if config is None:
-        if not store.config_path.exists():
-            raise PipelineError(f"{store.root} has no config.json; "
+        config_path = (store.config_path if store.config_path.exists()
+                       else root_store.config_path)
+        if not config_path.exists():
+            raise PipelineError(f"{root_store.root} has no config.json; "
                                 "not a pipeline artifact directory")
-        config = RunConfig.from_json(store.config_path.read_text())
+        config = RunConfig.from_json(config_path.read_text())
     pipeline = Pipeline(config, store=store)
     return pipeline.run(until=until or ("train",), require_cached=True)

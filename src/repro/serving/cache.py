@@ -120,5 +120,32 @@ class ResultCache:
         self.stats.invalidations += len(doomed)
         return len(doomed)
 
+    def invalidate_entities(self, entities) -> int:
+        """Drop every entry *touched* by the given entity set; keep the rest.
+
+        An entry is touched when its user is in ``entities`` or any of its
+        cached items is (cached values expose an ``items`` sequence; opaque
+        values are matched on the user only).  This is the scoped alternative
+        to a whole-cache flush on artifact change: a streaming delta affects a
+        handful of entities, and every untouched entry survives *in its
+        existing eviction order* — deleting from an ``OrderedDict`` never
+        reorders the survivors.
+        """
+        touched = set(entities)
+        if not touched:
+            return 0
+        doomed = []
+        for key, entry in self._entries.items():
+            if key[0] in touched:
+                doomed.append(key)
+                continue
+            items = getattr(entry.value, "items", None)
+            if items is not None and not touched.isdisjoint(items):
+                doomed.append(key)
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
     def clear(self) -> None:
         self._entries.clear()

@@ -105,6 +105,10 @@ class CachedResult:
     items: Tuple[int, ...]
     paths: Tuple[RecommendationPath, ...]
     source_tier: ServingTier
+    #: Artifact generation whose tables computed this payload.  Survives
+    #: cache/stale hits, so an answer computed before a live generation swap
+    #: keeps reporting the generation it is actually consistent with.
+    generation: int = 0
 
 
 @dataclass
@@ -128,6 +132,9 @@ class RecommendationResponse:
     cache_hit: bool
     latency_ms: float
     shed: bool = False
+    #: Artifact generation that computed the payload (cache hits report the
+    #: generation of the *cached* answer, not the serving service's own).
+    generation: int = 0
 
     @property
     def explainable(self) -> bool:
@@ -150,10 +157,12 @@ class RecommendationService:
                  transe: Optional[TransEModel] = None,
                  config: Optional[ServingConfig] = None,
                  clock: Callable[[], float] = time.perf_counter,
-                 name: str = "RecommendationService") -> None:
+                 name: str = "RecommendationService",
+                 generation: int = 0) -> None:
         self.config = config or ServingConfig()
         self.config.validate()
         self.name = name
+        self.generation = generation
         self._clock = clock
         self.recommender = recommender or PathRecommender(
             graph, category_graph, representations, policy,
@@ -175,7 +184,8 @@ class RecommendationService:
     def from_cadrl(cls, model, *, transe: Optional[TransEModel] = None,
                    config: Optional[ServingConfig] = None,
                    clock: Callable[[], float] = time.perf_counter,
-                   name: str = "CADRL (served)") -> "RecommendationService":
+                   name: str = "CADRL (served)",
+                   generation: int = 0) -> "RecommendationService":
         """Wrap a fitted :class:`repro.darl.CADRL` facade, reusing its recommender.
 
         ``clock`` is injectable like in the main constructor (e.g. a
@@ -185,7 +195,8 @@ class RecommendationService:
             raise RuntimeError("CADRL.fit must be called before serving")
         return cls(model.graph, model.category_graph, model.representations,
                    model.recommender.policy, recommender=model.recommender,
-                   transe=transe, config=config, clock=clock, name=name)
+                   transe=transe, config=config, clock=clock, name=name,
+                   generation=generation)
 
     @classmethod
     def from_artifacts(cls, path, *, config: Optional[ServingConfig] = None,
@@ -242,9 +253,11 @@ class RecommendationService:
         start = self._clock()
         key = request.cache_key()
         paths: Sequence[RecommendationPath] = ()
+        generation = self.generation
         cached = self.cache.get(key)
         if cached is not None:
             items, paths, source_tier = cached.items, cached.paths, cached.source_tier
+            generation = cached.generation
             tier, cache_hit = ServingTier.CACHE, True
         else:
             cache_hit = False
@@ -262,12 +275,14 @@ class RecommendationService:
                 # Cached values are immutable tuples: responses hand out fresh
                 # lists, so a caller mutating them cannot corrupt the cache.
                 self.cache.put(key, CachedResult(tuple(items), tuple(paths),
-                                                 ServingTier.FULL))
+                                                 ServingTier.FULL,
+                                                 generation=self.generation))
                 self.tiers.observe_full_search(
                     _precomputed_cost_ms + (self._clock() - start) * 1000.0)
             elif tier is ServingTier.STALE:
                 stale = self.cache.get_stale(key)
                 items, paths, source_tier = stale.items, stale.paths, stale.source_tier
+                generation = stale.generation
             else:
                 items = self.tiers.fallback_items(request)
                 source_tier = ServingTier.EMBEDDING
@@ -277,13 +292,15 @@ class RecommendationService:
                     # warm users are *not* cached: their key must stay free for
                     # the full-quality result a generous request will compute.
                     self.cache.put(key, CachedResult(tuple(items), (),
-                                                     ServingTier.EMBEDDING))
+                                                     ServingTier.EMBEDDING,
+                                                     generation=self.generation))
         latency_ms = (self._clock() - start) * 1000.0
         self.telemetry.record(latency_ms, tier, cache_hit=cache_hit)
         return RecommendationResponse(request=request, items=list(items),
                                       paths=list(paths), tier=tier,
                                       source_tier=source_tier,
-                                      cache_hit=cache_hit, latency_ms=latency_ms)
+                                      cache_hit=cache_hit, latency_ms=latency_ms,
+                                      generation=generation)
 
     def serve_many(self, requests: Sequence[RecommendationRequest]
                    ) -> List[RecommendationResponse]:
@@ -351,6 +368,19 @@ class RecommendationService:
         self.recommender.milestone_cache.pop(user_entity, None)
         return self.cache.invalidate_user(user_entity)
 
+    def invalidate_entities(self, entities: Iterable[int]) -> int:
+        """Scoped invalidation after a streaming delta touched ``entities``.
+
+        Drops the milestone trajectories of touched users and every result
+        whose user or items intersect the set, leaving the rest of the cache
+        (and its eviction order) alone; returns the number of dropped
+        result-cache entries.
+        """
+        touched = set(entities)
+        for entity in touched:
+            self.recommender.milestone_cache.pop(entity, None)
+        return self.cache.invalidate_entities(touched)
+
     def telemetry_snapshot(self) -> Dict:
         """Telemetry merged with cache statistics and the tier cost estimate."""
         snapshot = self.telemetry.snapshot()
@@ -364,6 +394,7 @@ class RecommendationService:
             "hit_rate": self.cache.stats.hit_rate,
         }
         snapshot["estimated_full_search_ms"] = self.tiers.estimated_full_search_ms
+        snapshot["generation"] = self.generation
         return snapshot
 
     # ------------------------------------------------------------------ #

@@ -26,11 +26,13 @@ Typical use::
 """
 
 from .oracles import (
+    CrossGenerationOracle,
     FallbackValidityOracle,
     FullSearchOracle,
     OracleFinding,
     OracleReport,
     StaleConsistencyOracle,
+    run_live_oracles,
     run_oracles,
 )
 from .replay import ReplayConfig, ReplayDriver, ReplayResult, RequestRecord, TraceClock
@@ -46,6 +48,7 @@ from .workload import (
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "CrossGenerationOracle",
     "FallbackValidityOracle",
     "FullSearchOracle",
     "OracleFinding",
@@ -63,6 +66,7 @@ __all__ = [
     "generate_workload",
     "render_report",
     "replay_telemetry",
+    "run_live_oracles",
     "run_oracles",
     "summarize",
 ]

@@ -16,8 +16,13 @@ the tiers it understands and reports mismatches as :class:`OracleFinding`\\ s:
 * :class:`StaleConsistencyOracle` — a stale response must replay, verbatim,
   the most recent non-stale answer served for the same cache key earlier in
   the trace.
+* :class:`CrossGenerationOracle` — in a live-updated replay every response
+  is stamped with the artifact generation that computed it; each answer must
+  be valid *against that generation's tables* (pre-swap answers against
+  generation N, post-swap against N+1, never a torn mix of both).
 
-``run_oracles`` wires all three to a service and a record list.
+``run_oracles`` wires the first three to a service and a record list;
+``run_live_oracles`` runs the live battery over a generation ledger.
 """
 
 from __future__ import annotations
@@ -236,6 +241,119 @@ class StaleConsistencyOracle:
                 and self.service.tiers.is_cold(record.user_entity))
 
 
+class CrossGenerationOracle:
+    """Every answer must be consistent with the generation that produced it.
+
+    ``views`` maps generation number → a service-like view (``.graph``,
+    ``.recommender``, ``.tiers``) over exactly that generation's frozen
+    tables (:meth:`repro.live.LiveSession.generation_views` builds them).
+    For each record the oracle:
+
+    * requires the stamped generation to exist in the ledger;
+    * re-checks the universal invariants against *that* generation's graph —
+      in particular, every served item must be an item entity of that
+      generation, which catches torn mixes: an item introduced by generation
+      N+1 has an entity id beyond generation N's tables, so it can never
+      legally appear in a generation-N answer;
+    * recomputes FULL-provenance payloads with that generation's recommender
+      (sampled, memoised per ``(generation, cache key)``) and
+      EMBEDDING-provenance payloads with its fallback ranker;
+    * checks tier policy against that generation's cold-user set.
+    """
+
+    name = "cross_generation_oracle"
+
+    def __init__(self, views) -> None:
+        if not views:
+            raise ValueError("the oracle needs at least one generation view")
+        self.views = dict(views)
+
+    def check(self, records: Sequence[RequestRecord],
+              full_search_sample: Optional[int] = None,
+              seed: int = 0) -> OracleReport:
+        report = OracleReport(oracle=self.name)
+        eligible_full = [record for record in records
+                         if record.source_tier is ServingTier.FULL]
+        sampled_full = set(record.index for record in eligible_full)
+        if (full_search_sample is not None
+                and full_search_sample < len(eligible_full)):
+            rng = np.random.default_rng(seed)
+            chosen = rng.choice(len(eligible_full), size=full_search_sample,
+                                replace=False)
+            sampled_full = {eligible_full[i].index for i in chosen}
+        expected_by_key: dict = {}
+        for record in records:
+            report.checked += 1
+            view = self.views.get(record.generation)
+            if view is None:
+                report.add(record, f"answer stamped with unknown generation "
+                                   f"{record.generation} (ledger has "
+                                   f"{sorted(self.views)})")
+                continue
+            self._check_universal(record, view, report)
+            if (record.source_tier is ServingTier.FULL
+                    and record.index in sampled_full):
+                self._check_full(record, view, report, expected_by_key)
+            elif record.source_tier is ServingTier.EMBEDDING:
+                self._check_embedding(record, view, report, expected_by_key)
+            self._check_tier_policy(record, view, report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _check_universal(self, record: RequestRecord, view,
+                         report: OracleReport) -> None:
+        items = record.items
+        if len(items) > record.top_k:
+            report.add(record, f"{len(items)} items exceed top_k={record.top_k}")
+        if len(set(items)) != len(items):
+            report.add(record, f"duplicate items in {list(items)}")
+        leaked = set(items) & set(record.exclude_items)
+        if leaked:
+            report.add(record, f"excluded items served: {sorted(leaked)}")
+        # The generation-scoped item check: entity ids beyond this
+        # generation's tables (or non-item ids) prove a torn answer.
+        torn = [entity for entity in items
+                if entity not in view.graph.entities
+                or not view.graph.entities.is_item(entity)]
+        if torn:
+            report.add(record, f"items invalid for generation "
+                               f"{record.generation}: {torn}")
+
+    def _check_full(self, record: RequestRecord, view, report: OracleReport,
+                    expected_by_key: dict) -> None:
+        key = (record.generation, record.cache_key())
+        expected = expected_by_key.get(key)
+        if expected is None:
+            paths = view.recommender.recommend(
+                record.user_entity, exclude_items=set(record.exclude_items),
+                top_k=record.top_k)
+            expected = tuple(path.item_entity for path in paths)
+            expected_by_key[key] = expected
+        if record.items != expected:
+            report.add(record, f"generation {record.generation} full search "
+                               f"gives {list(expected)}, served "
+                               f"{list(record.items)}")
+
+    def _check_embedding(self, record: RequestRecord, view,
+                         report: OracleReport, expected_by_key: dict) -> None:
+        key = (record.generation, "embed", record.cache_key())
+        expected = expected_by_key.get(key)
+        if expected is None:
+            expected = tuple(view.tiers.fallback_items(record))
+            expected_by_key[key] = expected
+        if record.items != expected:
+            report.add(record, f"generation {record.generation} embedding "
+                               f"ranking gives {list(expected)}, served "
+                               f"{list(record.items)}")
+
+    def _check_tier_policy(self, record: RequestRecord, view,
+                           report: OracleReport) -> None:
+        if (view.tiers.is_cold(record.user_entity)
+                and record.source_tier is ServingTier.FULL):
+            report.add(record, f"user cold in generation {record.generation} "
+                               "served a full-search payload")
+
+
 def run_oracles(service, records: Sequence[RequestRecord],
                 full_search_sample: Optional[int] = None,
                 seed: int = 0) -> List[OracleReport]:
@@ -245,4 +363,24 @@ def run_oracles(service, records: Sequence[RequestRecord],
             records, sample_size=full_search_sample, seed=seed),
         FallbackValidityOracle(service).check(records),
         StaleConsistencyOracle(service).check(records),
+    ]
+
+
+def run_live_oracles(session, records: Sequence[RequestRecord],
+                     full_search_sample: Optional[int] = None,
+                     seed: int = 0) -> List[OracleReport]:
+    """The oracle battery for a live (multi-generation) replay.
+
+    ``session`` is a :class:`repro.live.LiveSession` (anything exposing
+    ``generation_views()``).  The cross-generation oracle subsumes the
+    single-generation full-search/validity checks — each applied against the
+    generation that actually answered — and the stale-consistency oracle
+    remains sound unchanged: a stale answer replays a cached record verbatim,
+    generation stamp included.
+    """
+    views = session.generation_views()
+    return [
+        CrossGenerationOracle(views).check(
+            records, full_search_sample=full_search_sample, seed=seed),
+        StaleConsistencyOracle(session).check(records),
     ]

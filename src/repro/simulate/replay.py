@@ -89,6 +89,9 @@ class RequestRecord:
     #: The answer was degraded by cluster backpressure (admission shedding),
     #: not by the request's own latency budget.
     shed: bool = False
+    #: Artifact generation whose tables computed the payload (live updates);
+    #: 0 for single-generation services.
+    generation: int = 0
 
     def cache_key(self) -> Tuple[int, int, frozenset]:
         """The result-cache key this request mapped to."""
@@ -175,7 +178,8 @@ class ReplayResult:
             digest.update(repr((record.index, record.user_entity, record.top_k,
                                 record.exclude_items, record.tier.value,
                                 record.source_tier.value, record.cache_hit,
-                                record.shed, record.items)).encode("utf-8"))
+                                record.shed, record.generation,
+                                record.items)).encode("utf-8"))
         return digest.hexdigest()
 
 
@@ -221,6 +225,7 @@ class ReplayDriver:
                     items=tuple(response.items),
                     paths=tuple(response.paths) if config.record_paths else (),
                     shed=getattr(response, "shed", False),
+                    generation=getattr(response, "generation", 0),
                 ))
         result.wall_seconds = time.perf_counter() - start
         return result
