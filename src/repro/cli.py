@@ -27,7 +27,9 @@ Commands
     loop (``repro.live``): scheduled mid-trace ingestion bursts, a
     warm-start refresh and a zero-downtime generation swap, verified by the
     cross-generation oracle; add ``--expect-no-shed`` to fail the run if
-    any request was shed.
+    any request was shed.  ``--autoscale --min-shards A --max-shards B``
+    resizes the cluster mid-replay from shed/queue signals at virtual-time
+    ticks (``repro.cluster.Autoscaler``), verified by the scaling oracle.
 ``experiments``
     Run the paper's tables/figures (replaces the old ad-hoc
     ``repro.experiments.runner`` argparse).
@@ -48,6 +50,7 @@ Examples
     python -m repro simulate --artifacts artifacts/smoke --requests 500
     python -m repro simulate --shards 4 --replicas 2 --fail-shard 1 --seed 7
     python -m repro simulate --shards 4 --live-ingest 25 --expect-no-shed
+    python -m repro simulate --autoscale --min-shards 2 --max-shards 6 --max-queue 8
     python -m repro experiments --profile smoke --only table1 fig5
     python -m repro bench --profile smoke --out benchmarks
 """
@@ -204,10 +207,33 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     if live and arguments.wall_clock:
         raise SystemExit("error: --live-ingest replays run in virtual time; "
                          "drop --wall-clock")
+    autoscale = bool(arguments.autoscale)
+    if autoscale and arguments.wall_clock:
+        raise SystemExit("error: --autoscale decisions are evaluated at "
+                         "virtual-time ticks; drop --wall-clock")
+    if autoscale and live:
+        raise SystemExit("error: --autoscale cannot be combined with "
+                         "--live-ingest (one resharding actor per replay)")
+    if autoscale and arguments.fail_shard:
+        raise SystemExit("error: --autoscale cannot be combined with "
+                         "--fail-shard yet")
+    min_shards = arguments.min_shards if arguments.min_shards is not None else 2
+    max_shards = arguments.max_shards if arguments.max_shards is not None else 6
+    if autoscale and min_shards > max_shards:
+        raise SystemExit(f"error: --min-shards {min_shards} exceeds "
+                         f"--max-shards {max_shards}")
 
     # Topology: CLI flags override the run's persisted cluster spec.
-    shards = (arguments.shards if arguments.shards is not None
-              else config.cluster.num_shards)
+    if autoscale:
+        # The autoscaled cluster boots at its floor (or an explicit --shards
+        # within the range) and earns its capacity from the trace.
+        shards = arguments.shards if arguments.shards is not None else min_shards
+        if not min_shards <= shards <= max_shards:
+            raise SystemExit(f"error: --shards {shards} outside the autoscale "
+                             f"range [{min_shards}, {max_shards}]")
+    else:
+        shards = (arguments.shards if arguments.shards is not None
+                  else config.cluster.num_shards)
     failed_shards = tuple(arguments.fail_shard or ())
     if failed_shards:
         bad = [shard for shard in failed_shards if not 0 <= shard < shards]
@@ -220,8 +246,9 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
                 "error: --fail-shard would take every shard down; "
                 "leave at least one healthy (or raise --shards)")
     # Live generation swaps flip shards through the cluster facade, so a
-    # live replay always runs the cluster path (a 1-shard cluster is fine).
-    clustered = shards > 1 or bool(failed_shards) or live
+    # live replay always runs the cluster path (a 1-shard cluster is fine);
+    # autoscaling needs the cluster facade to reshard at all.
+    clustered = shards > 1 or bool(failed_shards) or live or autoscale
     if arguments.replicas is not None:
         replicas = arguments.replicas
     elif arguments.shards is None:
@@ -246,7 +273,9 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
             num_shards=shards,
             replication_factor=min(replicas, shards),
             virtual_nodes=config.cluster.virtual_nodes,
-            max_queue_per_shard=config.cluster.max_queue_per_shard,
+            max_queue_per_shard=(arguments.max_queue if arguments.max_queue
+                                 is not None
+                                 else config.cluster.max_queue_per_shard),
             seed=config.cluster.seed,
             failed_shards=failed_shards)
         service = result.cluster_service(cluster_config=cluster_config,
@@ -270,6 +299,20 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     print(f"workload: {len(workload)} requests over {workload.duration_s:.2f}s "
           f"of trace time, seed {workload_seed} "
           f"(signature {workload.signature()[:16]}…)")
+
+    autoscaler = None
+    if autoscale:
+        from .cluster import AutoscaleConfig, Autoscaler
+
+        tick = (arguments.scale_tick if arguments.scale_tick is not None
+                else max(workload.duration_s / 40.0, 1e-3))
+        autoscaler = Autoscaler(
+            service,
+            AutoscaleConfig(min_shards=min_shards, max_shards=max_shards,
+                            tick_interval_s=tick, seed=workload_seed),
+            clock=clock)
+        print(f"autoscale: [{min_shards}, {max_shards}] shards, "
+              f"tick {tick:.3f}s of trace time, seed {workload_seed}")
 
     session = None
     if live:
@@ -300,13 +343,20 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
               f"({arguments.live_ingest} deltas per ingest, "
               f"{arguments.refresh_epochs}-epoch warm refresh)")
 
-    replay = ReplayDriver(session or service, clock=clock).replay(workload)
+    replay = ReplayDriver(session or autoscaler or service,
+                          clock=clock).replay(workload)
     if session is not None:
         from .simulate import run_live_oracles
 
         reports = run_live_oracles(session, replay.records,
                                    full_search_sample=arguments.oracle_sample,
                                    seed=0)
+    elif autoscaler is not None:
+        from .simulate import run_autoscale_oracles
+
+        reports = run_autoscale_oracles(autoscaler, replay.records,
+                                        full_search_sample=arguments.oracle_sample,
+                                        seed=0)
     else:
         reports = run_oracles(service, replay.records,
                               full_search_sample=arguments.oracle_sample, seed=0)
@@ -322,6 +372,8 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     if session is not None:
         live_snapshot = session.telemetry_snapshot()["live"]
         summary["live"] = live_snapshot
+    if autoscaler is not None:
+        summary["autoscale"] = autoscaler.autoscale_snapshot()
     print()
     print(render_report(summary))
     if clustered:
@@ -345,6 +397,18 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
                   f"{swap['invalidated_entries']} cache entries invalidated "
                   f"({swap['preserved_entries']} preserved), "
                   f"{swap['touched_entities']} entities touched")
+    if autoscaler is not None:
+        scaling = summary["autoscale"]
+        print(f"autoscale           shards={scaling['current_shards']} "
+              f"(started {scaling['initial_shards']})  "
+              f"ups={scaling['scale_ups']}  downs={scaling['scale_downs']}  "
+              f"shard_ticks={scaling['shard_ticks']}  "
+              f"migrated={scaling['migrated_entries']}")
+        for event in autoscaler.events:
+            print(f"  t={event.at_s:7.2f}s scale-{event.action}: "
+                  f"{event.from_shards} → {event.to_shards} shards "
+                  f"(shard {event.shard_id}, {event.reason}, "
+                  f"{event.migrated_entries} entries migrated)")
     print(f"replay signature    {replay.signature()[:32]}…")
     if arguments.expect_no_shed:
         shed = sum(record.shed for record in replay.records)
@@ -479,6 +543,24 @@ def build_parser() -> argparse.ArgumentParser:
                           default=None, dest="fail_shard", metavar="K",
                           help="mark shard K DOWN at boot (repeatable) — "
                                "deterministic failover injection")
+    simulate.add_argument("--autoscale", action="store_true",
+                          help="resize the cluster at virtual-time ticks from "
+                               "shed/queue signals (deterministic, seeded); "
+                               "boots at --min-shards")
+    simulate.add_argument("--min-shards", type=int, default=None,
+                          dest="min_shards", metavar="N",
+                          help="autoscale floor (default 2)")
+    simulate.add_argument("--max-shards", type=int, default=None,
+                          dest="max_shards", metavar="N",
+                          help="autoscale ceiling (default 6)")
+    simulate.add_argument("--scale-tick", type=float, default=None,
+                          dest="scale_tick", metavar="SECONDS",
+                          help="autoscale decision interval in trace seconds "
+                               "(default: duration / 20)")
+    simulate.add_argument("--max-queue", type=int, default=None,
+                          dest="max_queue", metavar="N",
+                          help="override the per-shard admission queue bound "
+                               "(smaller = earlier shedding)")
     simulate.add_argument("--wall-clock", action="store_true",
                           help="measure real latencies instead of the "
                                "deterministic virtual-time replay")

@@ -16,7 +16,11 @@ admission control and cluster-wide telemetry:
   from the shards' raw telemetry windows.
 * :class:`ClusterService` — the facade: same ``serve``/``serve_many`` surface
   as a single service, so :class:`repro.simulate.ReplayDriver` and the whole
-  oracle battery run against a cluster unchanged.
+  oracle battery run against a cluster unchanged; elastic ``add_shard`` /
+  ``remove_shard`` with cache warm-migration along the ring's bounded remap.
+* :class:`Autoscaler` / :class:`AutoscaleConfig` — deterministic, seeded
+  grow/shrink decisions at virtual-time ticks from shed-rate and
+  queue-utilization signals, wrapped around the same serving facade.
 
 Typical use::
 
@@ -29,6 +33,7 @@ Typical use::
 """
 
 from .admission import AdmissionController, AdmissionStats
+from .autoscale import AutoscaleConfig, Autoscaler, ScaleEvent
 from .config import ClusterConfig
 from .health import HealthEvent, HealthModel, ShardStatus, random_schedule
 from .ring import ConsistentHashRing, stable_hash64
@@ -36,6 +41,7 @@ from .service import (
     ClusterService,
     ClusterUnavailableError,
     RoutingStats,
+    ScaleReport,
     ShardWorker,
 )
 from .telemetry import ClusterTelemetry, merge_telemetry_states
@@ -43,6 +49,8 @@ from .telemetry import ClusterTelemetry, merge_telemetry_states
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
+    "AutoscaleConfig",
+    "Autoscaler",
     "ClusterConfig",
     "ClusterService",
     "ClusterTelemetry",
@@ -51,6 +59,8 @@ __all__ = [
     "HealthEvent",
     "HealthModel",
     "RoutingStats",
+    "ScaleEvent",
+    "ScaleReport",
     "ShardStatus",
     "ShardWorker",
     "merge_telemetry_states",

@@ -41,6 +41,7 @@ class AdmissionController:
             raise ValueError("max_queue_per_shard must be positive")
         self.max_queue_per_shard = max_queue_per_shard
         self._loads: Dict[int, int] = {}
+        self._peaks: Dict[int, int] = {}
         self.stats = AdmissionStats()
 
     def begin_burst(self) -> None:
@@ -58,8 +59,25 @@ class AdmissionController:
             self.stats.rejected += 1
             return False
         self._loads[shard_id] = load + 1
+        if load + 1 > self._peaks.get(shard_id, 0):
+            self._peaks[shard_id] = load + 1
         self.stats.admitted += 1
         return True
+
+    def drain_peaks(self) -> Dict[int, int]:
+        """Per-shard peak burst queue depth since the last drain, then reset.
+
+        The autoscaler reads this each tick: peaks (not averages) are what
+        predict shedding, because admission rejects on the burst maximum.
+        """
+        peaks = dict(self._peaks)
+        self._peaks.clear()
+        return peaks
+
+    def forget_shard(self, shard_id: int) -> None:
+        """Drop all bookkeeping for a decommissioned shard."""
+        self._loads.pop(shard_id, None)
+        self._peaks.pop(shard_id, None)
 
     def reset_stats(self) -> None:
         self.stats = AdmissionStats()

@@ -84,6 +84,25 @@ class HealthModel:
         self.set_status(shard_id, ShardStatus.HEALTHY)
 
     # ------------------------------------------------------------------ #
+    # elastic membership
+    # ------------------------------------------------------------------ #
+    def add_shard(self, shard_id: int,
+                  status: ShardStatus = ShardStatus.HEALTHY) -> None:
+        """Register a new shard (autoscale scale-up), healthy by default."""
+        if shard_id in self._status:
+            raise ValueError(f"shard {shard_id} already registered")
+        self._status[shard_id] = ShardStatus(status)
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Forget a decommissioned shard and any events still scheduled for it."""
+        self._require_shard(shard_id)
+        if len(self._status) == 1:
+            raise ValueError("cannot remove the last shard from the health model")
+        del self._status[shard_id]
+        self._pending = [event for event in self._pending
+                         if event.shard_id != shard_id]
+
+    # ------------------------------------------------------------------ #
     # scheduled events
     # ------------------------------------------------------------------ #
     def schedule(self, event: HealthEvent) -> None:

@@ -85,6 +85,20 @@ class ShardWorker:
 
 
 @dataclass(frozen=True)
+class ScaleReport:
+    """Outcome of one :meth:`ClusterService.add_shard` / ``remove_shard``.
+
+    ``migrated_entries`` counts result-cache entries that were warm-migrated
+    to their new owner instead of being cold-started or dropped.
+    """
+
+    action: str            # "add" | "remove"
+    shard_id: int
+    num_shards: int        # cluster size after the change
+    migrated_entries: int
+
+
+@dataclass(frozen=True)
 class _Dispatch:
     """Where one request goes and as what."""
 
@@ -122,6 +136,8 @@ class ClusterService:
         self._clock = clock
         self.workers = [ShardWorker(shard_id=shard, service=service)
                         for shard, service in enumerate(workers)]
+        self._workers_by_id = {worker.shard_id: worker for worker in self.workers}
+        self._next_shard_id = len(self.workers)
         self.ring = ConsistentHashRing(range(len(workers)),
                                        virtual_nodes=config.virtual_nodes,
                                        seed=config.seed)
@@ -220,6 +236,19 @@ class ClusterService:
     def num_shards(self) -> int:
         return len(self.workers)
 
+    @property
+    def next_shard_id(self) -> int:
+        """The id the next :meth:`add_shard` will assign (ids are never reused)."""
+        return self._next_shard_id
+
+    def worker(self, shard_id: int) -> ShardWorker:
+        """The live worker for a shard id (ids are sparse once elastic)."""
+        worker = self._workers_by_id.get(shard_id)
+        if worker is None:
+            raise ValueError(f"unknown shard {shard_id} (cluster has "
+                             f"{sorted(self._workers_by_id)})")
+        return worker
+
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
@@ -284,7 +313,7 @@ class ClusterService:
 
         responses: List[Optional[RecommendationResponse]] = [None] * len(dispatches)
         for shard_id in sorted(groups):
-            worker = self.workers[shard_id]
+            worker = self.worker(shard_id)
             indices = groups[shard_id]
             served = worker.service.serve_many(
                 [dispatches[index].request for index in indices])
@@ -357,10 +386,7 @@ class ClusterService:
         ``CachedResult.generation``) and the shard's rolling telemetry window
         spans the swap.  Returns the replaced service.
         """
-        if not 0 <= shard_id < len(self.workers):
-            raise ValueError(f"unknown shard {shard_id} "
-                             f"(cluster has {len(self.workers)})")
-        worker = self.workers[shard_id]
+        worker = self.worker(shard_id)
         outgoing = worker.service
         if carry_cache:
             service.cache = outgoing.cache
@@ -373,6 +399,102 @@ class ClusterService:
         """Artifact generation currently served by each shard."""
         return {worker.shard_id: getattr(worker.service, "generation", 0)
                 for worker in self.workers}
+
+    # ------------------------------------------------------------------ #
+    # elastic membership (autoscaling)
+    # ------------------------------------------------------------------ #
+    def clone_reference_service(self, *, name: Optional[str] = None
+                                ) -> RecommendationService:
+        """A fresh shard service over the reference worker's frozen tables.
+
+        Mirrors the per-shard cloning of :meth:`from_cadrl`: same policy
+        object, same representations, same search hyper-parameters and the
+        same fallback model, but its *own* :class:`PathRecommender` (private
+        milestone/action caches), result cache and telemetry — exactly what a
+        newly provisioned worker process would boot with.  Carries the
+        reference shard's current artifact generation.
+        """
+        reference = self._reference
+        source = reference.recommender
+        recommender = PathRecommender(
+            source.graph, source.category_environment.category_graph,
+            source.representations,
+            source.policy, guidance=source.guidance,
+            max_path_length=source.max_path_length,
+            max_entity_actions=source.entity_environment.max_actions,
+            max_category_actions=source.category_environment.max_actions,
+            use_dual_agent=source.use_dual_agent,
+            config=source.config)
+        return RecommendationService(
+            source.graph, source.category_environment.category_graph,
+            source.representations,
+            source.policy, recommender=recommender,
+            transe=reference.transe, config=reference.config,
+            clock=self._clock,
+            name=name or f"{self.name}/shard-{self._next_shard_id}",
+            generation=reference.generation)
+
+    def add_shard(self, service: Optional[RecommendationService] = None, *,
+                  warm_migrate: bool = True) -> ScaleReport:
+        """Grow the cluster by one shard, live, between bursts.
+
+        The ring's bounded-remap guarantee means only the keys the new shard
+        now owns move — an expected ``1/(n+1)`` of the population, all of
+        them *to* the new shard.  With ``warm_migrate`` the displaced result
+        cache entries follow their keys (expiry deadlines intact), so the new
+        shard starts warm for exactly the users it just took over instead of
+        recomputing answers the cluster already holds.  ``service`` defaults
+        to :meth:`clone_reference_service`.
+        """
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        worker = ShardWorker(shard_id=shard_id,
+                             service=service or self.clone_reference_service(
+                                 name=f"{self.name}/shard-{shard_id}"))
+        self.workers.append(worker)
+        self._workers_by_id[shard_id] = worker
+        self.health.add_shard(shard_id)
+        self.ring.add_shard(shard_id)
+        migrated = 0
+        if warm_migrate:
+            target = worker.service.cache
+            for donor in self.workers:
+                if donor.shard_id == shard_id:
+                    continue
+                displaced = donor.service.cache.extract_entries(
+                    lambda key: self.ring.primary(key[0]) == shard_id)
+                migrated += target.absorb(displaced)
+        return ScaleReport(action="add", shard_id=shard_id,
+                           num_shards=self.num_shards,
+                           migrated_entries=migrated)
+
+    def remove_shard(self, shard_id: int, *,
+                     warm_migrate: bool = True) -> ScaleReport:
+        """Decommission one shard, handing its hot cache entries to the
+        shards that inherit its key ranges.
+
+        Only the removed shard's keys remap (ring guarantee); each of its
+        surviving cache entries is pushed to its key's *new* primary unless
+        that shard already holds a copy (overflow/failover may have written
+        one, and the local copy is at least as fresh).
+        """
+        worker = self.worker(shard_id)
+        if len(self.workers) == 1:
+            raise ValueError("cannot remove the last shard of the cluster")
+        displaced = worker.service.cache.export_entries()
+        self.ring.remove_shard(shard_id)
+        self.workers.remove(worker)
+        del self._workers_by_id[shard_id]
+        self.health.remove_shard(shard_id)
+        self.admission.forget_shard(shard_id)
+        migrated = 0
+        if warm_migrate:
+            for entry in displaced:
+                owner = self.worker(self.ring.primary(entry.key[0]))
+                migrated += owner.service.cache.absorb([entry])
+        return ScaleReport(action="remove", shard_id=shard_id,
+                           num_shards=self.num_shards,
+                           migrated_entries=migrated)
 
     # ------------------------------------------------------------------ #
     # observability
@@ -412,5 +534,5 @@ class ClusterService:
                     f"no healthy shard left in {self.name} "
                     f"(health: {self.health.snapshot()})")
             available = [stand_ins[0]]
-        return self.workers[available[0]].service.recommender.find_paths(
+        return self.worker(available[0]).service.recommender.find_paths(
             user_entity, num_paths)

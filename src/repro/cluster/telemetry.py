@@ -57,14 +57,17 @@ def merge_telemetry_states(states: Sequence[Dict[str, Any]],
 
 
 class ClusterTelemetry:
-    """The cluster-wide view over a fixed set of shard workers.
+    """The cluster-wide view over a set of shard workers.
 
     Computed on demand from the live per-shard telemetry/cache state — there
-    is no double bookkeeping to drift out of sync with the shards.
+    is no double bookkeeping to drift out of sync with the shards.  The
+    worker sequence is held *by reference* (not copied): an elastic cluster
+    adds and removes shards mid-replay, and the merged view must always
+    cover the current membership.
     """
 
     def __init__(self, workers: Sequence, percentiles: Sequence[float] = PERCENTILES) -> None:
-        self._workers = list(workers)
+        self._workers = workers
         self.percentiles = tuple(percentiles)
 
     # ------------------------------------------------------------------ #

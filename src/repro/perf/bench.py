@@ -72,6 +72,10 @@ class BenchProfile:
     cluster_shards: int = 4      # N-shard side of the cluster-throughput pair
     cluster_replicas: int = 2
     patch_deltas: int = 10       # streaming-burst size for the CSR patch bench
+    autoscale_requests: int = 400  # bursty-trace length for the autoscale bench
+    autoscale_queue: int = 8       # per-shard admission bound (small → sheds)
+    autoscale_min: int = 2         # static-small / autoscale floor
+    autoscale_max: int = 6         # static-large / autoscale ceiling
     repeats: int = 5             # interleaved repetitions, median taken
 
     def validate(self) -> None:
@@ -80,10 +84,13 @@ class BenchProfile:
         if min(self.transe_epochs, self.beam_users, self.repeats,
                self.rollout_users, self.beam_top_k, self.beam_width,
                self.max_entity_actions, self.cluster_shards,
-               self.patch_deltas) <= 0:
+               self.patch_deltas, self.autoscale_requests,
+               self.autoscale_queue) <= 0:
             raise ValueError("benchmark sizes must be positive")
         if not 1 <= self.cluster_replicas <= self.cluster_shards:
             raise ValueError("cluster_replicas must lie in [1, cluster_shards]")
+        if not 1 <= self.autoscale_min <= self.autoscale_max:
+            raise ValueError("autoscale_min must lie in [1, autoscale_max]")
 
     def run_config(self) -> RunConfig:
         """The pipeline configuration that builds this profile's stack."""
@@ -334,6 +341,98 @@ def bench_csr_patch(result: PipelineResult,
     }
 
 
+def bench_autoscale(result: PipelineResult,
+                    profile: BenchProfile) -> Dict[str, float]:
+    """Bursty virtual-time trace: autoscaled vs static-small vs static-large.
+
+    The same seeded bursty workload replays three ways under a tight
+    per-shard admission bound: a static cluster at the autoscale floor
+    (sheds under the bursts), a static cluster at the ceiling (never sheds
+    but pays for idle capacity throughout), and an autoscaled cluster that
+    starts at the floor and earns/releases shards from the trace's own
+    shed/queue signals.  Capacity is reported as **shard-ticks** (cluster
+    size integrated over the autoscaler's decision ticks).  The autoscaled
+    run should shed less than static-small *and* spend fewer shard-ticks
+    than static-large; ``deterministic`` re-runs the autoscaled replay and
+    compares result signatures.  Virtual-time replay → trend/invariant
+    metrics, not wall-clock gated.
+    """
+    from ..cluster import AutoscaleConfig, Autoscaler, ClusterConfig, ClusterService
+    from ..simulate import (
+        ReplayDriver,
+        TraceClock,
+        UserPopulation,
+        WorkloadConfig,
+        generate_workload,
+    )
+
+    graph = result.graph
+    population = UserPopulation.from_graph(graph)
+    workload = generate_workload(
+        population,
+        WorkloadConfig(num_requests=profile.autoscale_requests,
+                       seed=profile.seed, arrival="bursty"),
+        graph)
+    serving_config = ServingConfig(cache_capacity=max(4 * profile.beam_users, 64))
+    small, large = profile.autoscale_min, profile.autoscale_max
+    # 40 ticks per trace: fine enough that the quiet gaps between bursts
+    # register as calm ticks, so the replay exercises scale-down as well
+    # as scale-up.
+    tick = max(workload.duration_s / 40.0, 1e-3)
+
+    def boot(shards: int, clock: "TraceClock", name: str) -> "ClusterService":
+        return ClusterService.from_cadrl(
+            result.cadrl, transe=result.transe,
+            config=ClusterConfig(num_shards=shards,
+                                 replication_factor=min(2, shards),
+                                 max_queue_per_shard=profile.autoscale_queue),
+            serving_config=serving_config, clock=clock, name=name)
+
+    def replay_static(shards: int):
+        clock = TraceClock()
+        cluster = boot(shards, clock, f"bench (static {shards}-shard)")
+        return ReplayDriver(cluster, clock=clock).replay(workload)
+
+    def replay_autoscaled():
+        clock = TraceClock()
+        cluster = boot(small, clock, "bench (autoscaled)")
+        autoscaler = Autoscaler(
+            cluster,
+            AutoscaleConfig(min_shards=small, max_shards=large,
+                            tick_interval_s=tick, seed=profile.seed),
+            clock=clock)
+        return autoscaler, ReplayDriver(autoscaler, clock=clock).replay(workload)
+
+    def sheds(replay) -> int:
+        return sum(record.shed for record in replay.records)
+
+    small_replay = replay_static(small)
+    large_replay = replay_static(large)
+    autoscaler, auto_replay = replay_autoscaled()
+    _, repeat_replay = replay_autoscaled()
+
+    ticks = max(autoscaler.ticks, 1)
+    return {
+        "requests": float(len(workload)),
+        "small_shards": float(small),
+        "large_shards": float(large),
+        "max_queue_per_shard": float(profile.autoscale_queue),
+        "small_shed": float(sheds(small_replay)),
+        "large_shed": float(sheds(large_replay)),
+        "autoscaled_shed": float(sheds(auto_replay)),
+        "scale_ups": float(sum(e.action == "up" for e in autoscaler.events)),
+        "scale_downs": float(sum(e.action == "down" for e in autoscaler.events)),
+        "migrated_entries": float(sum(e.migrated_entries
+                                      for e in autoscaler.events)),
+        "autoscaled_shard_ticks": float(autoscaler.shard_ticks),
+        "small_shard_ticks": float(small * ticks),
+        "large_shard_ticks": float(large * ticks),
+        "capacity_saved_vs_large": 1.0 - autoscaler.shard_ticks / (large * ticks),
+        "deterministic": float(auto_replay.signature()
+                               == repeat_replay.signature()),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # orchestration
 # --------------------------------------------------------------------------- #
@@ -375,6 +474,7 @@ def run_bench(profile: Union[str, BenchProfile],
     metrics.update(bench_beam_search(result, profile))
     metrics["cluster"] = bench_cluster(result, profile)
     metrics["csr_patch"] = bench_csr_patch(result, profile)
+    metrics["autoscale"] = bench_autoscale(result, profile)
 
     return {
         "meta": {
@@ -506,4 +606,13 @@ def render_report(document: Dict) -> str:
             f"{patch['deltas']:.0f} deltas "
             f"(full recompile {patch['full_compile_ms']:.2f} ms, "
             f"speedup {patch['speedup']:.2f}x)")
+    if "autoscale" in metrics:
+        scaling = metrics["autoscale"]
+        lines.append(
+            f"  autoscale  shed {scaling['autoscaled_shed']:.0f} vs "
+            f"static-small {scaling['small_shed']:.0f}; "
+            f"{scaling['autoscaled_shard_ticks']:.0f} shard-ticks vs "
+            f"static-large {scaling['large_shard_ticks']:.0f} "
+            f"({scaling['scale_ups']:.0f} ups, {scaling['scale_downs']:.0f} "
+            f"downs, {'deterministic' if scaling['deterministic'] else 'NON-DETERMINISTIC'})")
     return "\n".join(lines)

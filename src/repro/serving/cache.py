@@ -9,12 +9,26 @@ latency budget rules out a fresh beam search.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, FrozenSet, Optional, Tuple
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Tuple
 
 CacheKey = Tuple[int, int, FrozenSet[int]]
+
+
+@dataclass(frozen=True)
+class ExportedEntry:
+    """One cache entry lifted out of a :class:`ResultCache` for migration.
+
+    Carries the absolute ``expires_at`` deadline rather than a remaining TTL:
+    migrating an entry between shards must not refresh its expiry.
+    """
+
+    key: CacheKey
+    value: Any
+    expires_at: float
 
 
 @dataclass
@@ -29,9 +43,15 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fresh-hit rate over all lookups (0.0 before any traffic)."""
+        """Fresh-hit rate over all lookups (NaN before any traffic).
+
+        A cache that has never been consulted has no hit rate; reporting 0.0
+        would read as "everything missed" to telemetry consumers (and to any
+        scaling policy watching it), so the undefined case is NaN — the same
+        convention ``ClusterTelemetry.cache_totals`` uses.
+        """
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.hits / total if total else math.nan
 
 
 @dataclass
@@ -140,8 +160,17 @@ class ResultCache:
                 doomed.append(key)
                 continue
             items = getattr(entry.value, "items", None)
-            if items is not None and not touched.isdisjoint(items):
-                doomed.append(key)
+            if items is None or callable(items):
+                # Opaque value (or a mapping, whose bound ``.items`` method is
+                # not an item list): match on the user key only.
+                continue
+            try:
+                if not touched.isdisjoint(items):
+                    doomed.append(key)
+            except TypeError:
+                # ``items`` exists but is not an iterable of hashables —
+                # treat the value as opaque rather than blow up invalidation.
+                continue
         for key in doomed:
             del self._entries[key]
         self.stats.invalidations += len(doomed)
@@ -149,3 +178,51 @@ class ResultCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # migration (shard warm hand-off)
+    # ------------------------------------------------------------------ #
+    def export_entries(self, match: Optional[Callable[[CacheKey], bool]] = None
+                       ) -> List[ExportedEntry]:
+        """Copy out matching entries in eviction order (oldest first).
+
+        Counter- and LRU-neutral: exporting is observation, not traffic.
+        ``match`` defaults to everything; expired entries are included because
+        the stale tier can still serve them on the receiving shard.
+        """
+        return [ExportedEntry(key=key, value=entry.value, expires_at=entry.expires_at)
+                for key, entry in self._entries.items()
+                if match is None or match(key)]
+
+    def extract_entries(self, match: Callable[[CacheKey], bool]) -> List[ExportedEntry]:
+        """Remove and return matching entries in eviction order.
+
+        Used when a key range remaps to another shard: the displaced entries
+        leave this cache (without counting as invalidations — nothing about
+        their contents became wrong) and are handed to the new owner via
+        :meth:`absorb`.
+        """
+        exported = self.export_entries(match)
+        for entry in exported:
+            del self._entries[entry.key]
+        return exported
+
+    def absorb(self, entries: Iterable[ExportedEntry]) -> int:
+        """Adopt migrated entries, preserving their original expiry deadlines.
+
+        Entries the cache already holds are skipped (the local copy is at
+        least as fresh — it was written under this shard's traffic), as are
+        entries that would land already-evictable into a full cache.  Returns
+        the number actually adopted; capacity eviction applies as usual.
+        """
+        adopted = 0
+        for entry in entries:
+            if entry.key in self._entries:
+                continue
+            self._entries[entry.key] = _Entry(value=entry.value, expires_at=entry.expires_at)
+            self._entries.move_to_end(entry.key)
+            adopted += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return adopted

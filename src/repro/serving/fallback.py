@@ -76,10 +76,11 @@ class RepresentationFallbackRanker:
               exclude: Iterable[int] = ()) -> List[int]:
         candidates = self._items
         matrix = self._item_matrix
-        excluded = np.fromiter(exclude, dtype=np.int64) if exclude else np.empty(0, np.int64)
-        if excluded.size:
-            keep = ~np.isin(candidates, excluded)
-            candidates, matrix = candidates[keep], matrix[keep]
+        if exclude is not None:
+            excluded = np.fromiter(exclude, dtype=np.int64)
+            if excluded.size:
+                keep = ~np.isin(candidates, excluded)
+                candidates, matrix = candidates[keep], matrix[keep]
         if candidates.size == 0:
             return []
         query = self._representations.entity_vector(user_entity) + self._purchase_vector

@@ -172,6 +172,10 @@ class RecommendationService:
                                  ttl_seconds=self.config.cache_ttl_seconds,
                                  clock=clock)
         self.telemetry = ServingTelemetry(window=self.config.telemetry_window, clock=clock)
+        # Kept so a cluster can clone this shard's fallback stack when it
+        # scales up (a new shard must rank with the same model to stay
+        # bit-identical with its peers).
+        self.transe = transe
         ranker = (TransEFallbackRanker(transe, self.graph) if transe is not None
                   else RepresentationFallbackRanker(self.recommender.representations,
                                                     self.graph))

@@ -31,7 +31,9 @@ from .oracles import (
     FullSearchOracle,
     OracleFinding,
     OracleReport,
+    ScalingOracle,
     StaleConsistencyOracle,
+    run_autoscale_oracles,
     run_live_oracles,
     run_oracles,
 )
@@ -57,6 +59,7 @@ __all__ = [
     "ReplayDriver",
     "ReplayResult",
     "RequestRecord",
+    "ScalingOracle",
     "SimulatedRequest",
     "StaleConsistencyOracle",
     "TraceClock",
@@ -66,6 +69,7 @@ __all__ = [
     "generate_workload",
     "render_report",
     "replay_telemetry",
+    "run_autoscale_oracles",
     "run_live_oracles",
     "run_oracles",
     "summarize",

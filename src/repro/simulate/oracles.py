@@ -354,6 +354,116 @@ class CrossGenerationOracle:
                                "served a full-search payload")
 
 
+class ScalingOracle:
+    """Scale events may change provenance, never answers.
+
+    Runs over an autoscaled replay (``autoscaler`` is a
+    :class:`repro.cluster.Autoscaler`) and checks two families of invariants:
+
+    * **event-chain structure** — the recorded :class:`~repro.cluster.ScaleEvent`
+      sequence must be a walk of ±1 steps starting at the autoscaler's initial
+      shard count, staying inside ``[min_shards, max_shards]``, with strictly
+      increasing tick indices and non-decreasing trace times;
+    * **answer stability across scaling** — every shard serves the same frozen
+      tables, so two answers computed by the same tier for the same cache key
+      must be identical no matter which shard (pre- or post-scaling) produced
+      them; and a fresh cache hit must echo the latest computed answer for its
+      key — if warm migration handed the entry to a new owner, the payload must
+      have survived the move bit-for-bit.  (Like the stale oracle, hits whose
+      entry predates the record list — ``warm_up()``, an earlier replay — have
+      nothing in-trace to compare against and are only counted.)
+    """
+
+    name = "scaling_oracle"
+
+    def __init__(self, autoscaler) -> None:
+        self.autoscaler = autoscaler
+
+    def check(self, records: Sequence[RequestRecord]) -> OracleReport:
+        report = OracleReport(oracle=self.name)
+        self._check_events(report)
+        self._check_records(records, report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _structural(self, report: OracleReport, message: str) -> None:
+        """A finding about the event ledger itself, not any one request."""
+        report.findings.append(OracleFinding(
+            oracle=self.name, index=-1, user_entity=-1, message=message))
+
+    def _check_events(self, report: OracleReport) -> None:
+        config = self.autoscaler.config
+        shards = self.autoscaler.initial_shards
+        last_tick = 0
+        last_at = float("-inf")
+        for event in self.autoscaler.events:
+            if event.action not in ("up", "down"):
+                self._structural(report, f"unknown action {event.action!r} "
+                                         f"at tick {event.tick}")
+                continue
+            step = 1 if event.action == "up" else -1
+            if event.from_shards != shards:
+                self._structural(report,
+                                 f"tick {event.tick}: event starts from "
+                                 f"{event.from_shards} shards but the chain "
+                                 f"stands at {shards}")
+            if event.to_shards != event.from_shards + step:
+                self._structural(report,
+                                 f"tick {event.tick}: scale-{event.action} "
+                                 f"went {event.from_shards} → "
+                                 f"{event.to_shards}, not a ±1 step")
+            if not config.min_shards <= event.to_shards <= config.max_shards:
+                self._structural(report,
+                                 f"tick {event.tick}: {event.to_shards} shards "
+                                 f"violates [{config.min_shards}, "
+                                 f"{config.max_shards}]")
+            if event.tick <= last_tick:
+                self._structural(report,
+                                 f"tick {event.tick} not after tick {last_tick}")
+            if event.at_s < last_at:
+                self._structural(report,
+                                 f"tick {event.tick}: trace time {event.at_s} "
+                                 f"moved backwards")
+            shards = event.to_shards
+            last_tick = event.tick
+            last_at = event.at_s
+        if self.autoscaler.num_shards != shards:
+            self._structural(report,
+                             f"event chain ends at {shards} shards but the "
+                             f"cluster has {self.autoscaler.num_shards}")
+
+    def _check_records(self, records: Sequence[RequestRecord],
+                       report: OracleReport) -> None:
+        stable: dict = {}        # (source tier, cache key) -> first answer
+        computed: dict = {}      # cache key -> latest computed answer
+        for record in records:
+            report.checked += 1
+            key = record.cache_key()
+            identity = (record.source_tier.value, key)
+            earlier = stable.get(identity)
+            if earlier is None:
+                stable[identity] = record.items
+            elif record.items != earlier:
+                report.add(record,
+                           f"{record.source_tier.value} answer changed across "
+                           f"scaling: {list(earlier)} then "
+                           f"{list(record.items)}")
+            if record.tier is ServingTier.CACHE:
+                expected = computed.get(key)
+                if expected is not None and record.items != expected:
+                    report.add(record,
+                               f"cache hit {list(record.items)} != latest "
+                               f"computed answer {list(expected)} (entry "
+                               f"corrupted in flight?)")
+            elif record.tier is ServingTier.FULL or (
+                    record.tier is ServingTier.EMBEDDING
+                    and self.autoscaler.tiers.is_cold(record.user_entity)):
+                # The responses the service writes to the cache — what any
+                # later fresh hit (possibly on another shard, post-migration)
+                # must reproduce.
+                computed[key] = record.items
+
+
 def run_oracles(service, records: Sequence[RequestRecord],
                 full_search_sample: Optional[int] = None,
                 seed: int = 0) -> List[OracleReport]:
@@ -384,3 +494,18 @@ def run_live_oracles(session, records: Sequence[RequestRecord],
             records, full_search_sample=full_search_sample, seed=seed),
         StaleConsistencyOracle(session).check(records),
     ]
+
+
+def run_autoscale_oracles(autoscaler, records: Sequence[RequestRecord],
+                          full_search_sample: Optional[int] = None,
+                          seed: int = 0) -> List[OracleReport]:
+    """The oracle battery for an autoscaled replay.
+
+    ``autoscaler`` is a :class:`repro.cluster.Autoscaler`; it exposes the
+    reference ``recommender``/``tiers``/``graph`` surface, so the standard
+    battery applies unchanged, and the :class:`ScalingOracle` additionally
+    checks the scale-event ledger and answer stability across resharding.
+    """
+    return run_oracles(autoscaler, records,
+                       full_search_sample=full_search_sample,
+                       seed=seed) + [ScalingOracle(autoscaler).check(records)]

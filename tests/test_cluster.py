@@ -251,6 +251,52 @@ class TestMergedTelemetry:
         assert math.isnan(merged["cache_hit_rate"])
         assert all(math.isnan(v) for v in merged["latency_ms"].values())
 
+    def test_empty_windows_alongside_loaded_ones_are_transparent(self):
+        clock = FakeClock()
+        loaded = ServingTelemetry(window=64, clock=clock)
+        idle = ServingTelemetry(window=64, clock=clock)
+        for latency in (2.0, 4.0, 6.0):
+            loaded.record(latency, ServingTier.FULL)
+            clock.advance(1.0)
+        alone = merge_telemetry_states([loaded.export_state()])
+        merged = merge_telemetry_states([idle.export_state(),
+                                         loaded.export_state(),
+                                         idle.export_state()])
+        assert merged == alone                 # idle shards contribute nothing
+
+    def test_out_of_order_windows_are_sorted_onto_one_timeline(self):
+        early, late = FakeClock(), FakeClock()
+        late.advance(10.0)
+        a = ServingTelemetry(window=64, clock=late)
+        b = ServingTelemetry(window=64, clock=early)
+        a.record(1.0, ServingTier.FULL)        # t=10
+        b.record(3.0, ServingTier.FULL)        # t=0
+        early.advance(5.0)
+        b.record(5.0, ServingTier.FULL)        # t=5
+        # Shard order must not matter: QPS spans t=0..10 either way.
+        forward = merge_telemetry_states([a.export_state(), b.export_state()])
+        backward = merge_telemetry_states([b.export_state(), a.export_state()])
+        assert forward == backward
+        assert forward["qps"] == pytest.approx(2 / 10.0)
+        assert forward["requests"] == 3
+
+    def test_single_sample_windows_pool_without_fake_rates(self):
+        clock = FakeClock()
+        a = ServingTelemetry(window=64, clock=clock)
+        b = ServingTelemetry(window=64, clock=clock)
+        a.record(8.0, ServingTier.FULL)
+        b.record(2.0, ServingTier.CACHE, cache_hit=True)
+        merged = merge_telemetry_states([a.export_state(), b.export_state()])
+        # Two samples at the same instant: percentiles are exact, but a
+        # zero-span timeline has no rate — NaN, not a bogus 0.0 or infinity.
+        assert merged["latency_ms"]["p50"] == pytest.approx(5.0)
+        assert math.isnan(merged["qps"])
+        assert merged["cache_hit_rate"] == pytest.approx(0.5)
+        only = merge_telemetry_states([a.export_state()])
+        assert only["requests"] == 1
+        assert math.isnan(only["qps"])
+        assert only["latency_ms"]["p99"] == pytest.approx(8.0)
+
 
 # --------------------------------------------------------------------- #
 # the cluster service over the shared tiny stack

@@ -1,6 +1,8 @@
 """Tests for the online serving subsystem (repro.serving)."""
 
+import dataclasses
 import math
+from types import SimpleNamespace
 
 import pytest
 
@@ -15,6 +17,7 @@ from repro.serving import (
     ServingConfig,
     ServingTelemetry,
     ServingTier,
+    TransEFallbackRanker,
     batched_category_milestones,
 )
 
@@ -478,3 +481,136 @@ class TestInferenceConfigSatellite:
             PathRecommender(graph, category_graph, tiny_representations, policy,
                             max_path_length=2,
                             config=InferenceConfig(min_path_length=3))
+
+
+# --------------------------------------------------------------------- #
+# regression: cache stats, scoped invalidation, fallback excludes
+# --------------------------------------------------------------------- #
+class TestCacheStatsRegression:
+    def test_hit_rate_is_nan_before_any_lookup(self):
+        cache = ResultCache(capacity=4, clock=FakeClock())
+        assert math.isnan(cache.stats.hit_rate)       # undefined, not 0.0
+        cache.get((1, 10, frozenset()))
+        assert cache.stats.hit_rate == 0.0            # now a real measurement
+
+    def test_hit_rate_counts_only_lookups(self):
+        cache = ResultCache(capacity=4, clock=FakeClock())
+        key = (1, 10, frozenset())
+        cache.put(key, "value")                       # writes are not lookups
+        assert math.isnan(cache.stats.hit_rate)
+        cache.get(key)
+        assert cache.stats.hit_rate == 1.0
+
+
+class TestInvalidateEntitiesRegression:
+    def test_dict_values_are_opaque_not_a_crash(self):
+        cache = ResultCache(capacity=8, clock=FakeClock())
+        cache.put((1, 5, frozenset()), {"payload": [7, 8]})
+        # Pre-fix this raised TypeError: the dict's *bound ``.items`` method*
+        # was handed to ``isdisjoint``.  A mapping payload matches on the
+        # user key only.
+        assert cache.invalidate_entities({7}) == 0
+        assert cache.invalidate_entities({1}) == 1
+
+    def test_opaque_and_response_like_values_mix(self):
+        cache = ResultCache(capacity=8, clock=FakeClock())
+        cache.put((1, 5, frozenset()), object())                     # no .items
+        cache.put((2, 5, frozenset()), SimpleNamespace(items=(7, 9)))
+        cache.put((3, 5, frozenset()), SimpleNamespace(items=42))    # not iterable
+        assert cache.invalidate_entities({7}) == 1                   # only user 2
+        assert not cache.has_stale((2, 5, frozenset()))
+        assert cache.has_stale((1, 5, frozenset()))
+        assert cache.has_stale((3, 5, frozenset()))
+
+    def test_empty_entity_set_is_a_no_op(self):
+        cache = ResultCache(capacity=8, clock=FakeClock())
+        cache.put((1, 5, frozenset()), SimpleNamespace(items=(7,)))
+        assert cache.invalidate_entities(set()) == 0
+        assert len(cache) == 1
+
+
+class TestCacheMigration:
+    def _loaded(self, clock=None):
+        cache = ResultCache(capacity=8, ttl_seconds=10.0, clock=clock or FakeClock())
+        for user in (1, 2, 3):
+            cache.put((user, 5, frozenset()), f"answer-{user}")
+        return cache
+
+    def test_export_is_counter_and_order_neutral(self):
+        cache = self._loaded()
+        before = dataclasses.replace(cache.stats)
+        exported = cache.export_entries()
+        assert [entry.key[0] for entry in exported] == [1, 2, 3]
+        assert cache.stats == before and len(cache) == 3
+
+    def test_export_filters_by_key(self):
+        cache = self._loaded()
+        exported = cache.export_entries(lambda key: key[0] != 2)
+        assert [entry.key[0] for entry in exported] == [1, 3]
+
+    def test_extract_removes_without_counting_invalidations(self):
+        cache = self._loaded()
+        extracted = cache.extract_entries(lambda key: key[0] == 2)
+        assert [entry.key[0] for entry in extracted] == [2]
+        assert len(cache) == 2
+        assert cache.stats.invalidations == 0         # migration is not decay
+
+    def test_absorb_preserves_expiry_and_skips_existing(self):
+        clock = FakeClock()
+        donor = self._loaded(clock)
+        clock.advance(4.0)
+        target = ResultCache(capacity=8, ttl_seconds=10.0, clock=clock)
+        target.put((1, 5, frozenset()), "local-answer")
+        adopted = target.absorb(donor.export_entries())
+        assert adopted == 2                            # key 1 kept local copy
+        assert target.get((1, 5, frozenset())) == "local-answer"
+        # Migrated entries keep their original deadlines: they expire 10s
+        # after the *donor* wrote them, not 10s after the move.
+        clock.advance(6.1)
+        assert not target.has((2, 5, frozenset()))
+        assert target.has_stale((2, 5, frozenset()))
+
+    def test_absorb_respects_capacity(self):
+        donor = self._loaded()
+        target = ResultCache(capacity=2, clock=FakeClock())
+        assert target.absorb(donor.export_entries()) == 3
+        assert len(target) == 2                        # oldest absorbed evicted
+        assert target.stats.evictions == 1
+
+
+class TestFallbackExcludeRegression:
+    """``exclude`` may be any iterable — list, tuple, ndarray, generator.
+
+    Pre-fix, an ndarray exclude crashed ``RepresentationFallbackRanker`` with
+    "truth value of an array is ambiguous" and an exhausted/empty generator
+    produced an empty-sequence ``np.fromiter`` edge case.
+    """
+
+    @pytest.fixture()
+    def rankers(self, serving_stack, tiny_transe):
+        _, recommender, users, graph = serving_stack
+        transe, _ = tiny_transe
+        return [RepresentationFallbackRanker(recommender.representations, graph),
+                TransEFallbackRanker(transe, graph)], users
+
+    def test_all_exclude_shapes_rank_identically(self, rankers):
+        import numpy as np
+        rankers, users = rankers
+        for ranker in rankers:
+            full = ranker.top_k(users[0], 5)
+            banned = full[:2]
+            expected = ranker.top_k(users[0], 5, exclude=list(banned))
+            for shape in (tuple(banned), frozenset(banned),
+                          np.asarray(banned, dtype=np.int64),
+                          iter(banned)):
+                assert ranker.top_k(users[0], 5, exclude=shape) == expected
+            assert not set(banned) & set(expected)
+
+    def test_empty_excludes_of_every_shape_are_no_ops(self, rankers):
+        import numpy as np
+        rankers, users = rankers
+        for ranker in rankers:
+            full = ranker.top_k(users[0], 5)
+            for shape in ([], (), frozenset(),
+                          np.asarray([], dtype=np.int64), iter(()), None):
+                assert ranker.top_k(users[0], 5, exclude=shape) == full
