@@ -30,6 +30,10 @@ Public API highlights
 * :mod:`repro.perf` — the performance rail: seeded benchmarks
   (``python -m repro bench``), frozen scalar reference implementations of the
   vectorised hot paths, and the baseline-JSON regression gate.
+* :mod:`repro.analysis` — the AST-based invariant linter
+  (``python -m repro lint``): a pluggable rule battery enforcing the repo's
+  determinism, clock-injection and NaN-measurement conventions statically,
+  with inline suppressions and a committed baseline.
 * :mod:`repro.live` — zero-downtime streaming updates: an append-only
   replayable update log, incremental CSR adjacency patching, warm-started
   few-epoch TransE/CGGNN refreshes producing generation-versioned artifacts,
@@ -45,6 +49,7 @@ __version__ = "0.1.0"
 
 #: Subpackages exposed as lazy attributes of :mod:`repro`.
 _SUBPACKAGES = (
+    "analysis",
     "baselines",
     "cggnn",
     "cluster",

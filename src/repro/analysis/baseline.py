@@ -1,0 +1,77 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing findings that are *known and accepted*:
+``repro lint`` subtracts them from its report, so CI can gate on "no NEW
+findings" while the existing debt is burned down deliberately.  Entries match
+on :meth:`Finding.baseline_key` — (path, rule, stripped source text) — with
+multiset semantics, so two identical offending lines in one file need two
+entries, and an entry stops matching the moment the offending line is edited.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+class Baseline:
+    """A multiset of accepted finding keys, with JSON round-trip."""
+
+    def __init__(self, entries: Iterable[Dict] = ()) -> None:
+        self.entries: List[Dict] = list(entries)
+        self._keys: Counter = Counter(self._entry_key(entry) for entry in self.entries)
+
+    @staticmethod
+    def _entry_key(entry: Dict) -> Tuple[str, str, str]:
+        return (str(entry.get("path", "")), str(entry.get("rule", "")),
+                str(entry.get("code", "")).strip())
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries = [{"path": finding.path, "rule": finding.rule_id,
+                    "line": finding.line, "code": finding.source_line.strip(),
+                    "message": finding.message}
+                   for finding in findings]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or "entries" not in document:
+            raise ValueError(f"malformed baseline file: {path}")
+        version = document.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline version {version!r} in {path}")
+        return cls(document["entries"])
+
+    def save(self, path: Path) -> None:
+        document = {"version": BASELINE_VERSION, "entries": self.entries}
+        Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                              encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    def partition(self, findings: Iterable[Finding]
+                  ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined), consuming multiset entries."""
+        remaining = Counter(self._keys)
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        return new, matched
+
+    def __len__(self) -> int:
+        return len(self.entries)

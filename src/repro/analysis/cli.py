@@ -1,0 +1,104 @@
+"""``python -m repro lint`` — the static-analysis front end.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (bad paths/flags, malformed
+baseline).  ``--format json`` emits one machine-readable document;
+``--update-baseline`` rewrites the baseline to accept the current findings
+(the burn-down workflow: shrink it, never grow it casually).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import run_lint
+from .rules import rule_table
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint flags on ``parser`` (shared with the repro CLI)."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", default="text", choices=("text", "json"),
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                        help=f"baseline of accepted findings (default: "
+                             f"{DEFAULT_BASELINE_NAME} when present)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        dest="update_baseline",
+                        help="rewrite the baseline to accept current findings")
+    parser.add_argument("--list-rules", action="store_true", dest="list_rules",
+                        help="print the rule table and exit")
+
+
+def _resolve_baseline_path(arguments: argparse.Namespace) -> Optional[Path]:
+    if arguments.baseline is not None:
+        return arguments.baseline
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.exists() or arguments.update_baseline:
+        return default
+    return None
+
+
+def run_lint_command(arguments: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if arguments.list_rules:
+        for rule_id, description in sorted(rule_table().items()):
+            print(f"{rule_id}  {description}")
+        return EXIT_CLEAN
+
+    baseline_path = _resolve_baseline_path(arguments)
+    baseline: Optional[Baseline] = None
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE
+
+    try:
+        report = run_lint(arguments.paths,
+                          baseline=None if arguments.update_baseline else baseline)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if arguments.update_baseline:
+        assert baseline_path is not None
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"wrote {len(report.findings)} accepted finding(s) to {baseline_path}")
+        return EXIT_CLEAN
+
+    if arguments.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format_text())
+        summary = (f"{len(report.findings)} finding(s) in "
+                   f"{report.files_checked} file(s)")
+        if report.baselined:
+            summary += f", {len(report.baselined)} baselined"
+        if report.suppressed_count:
+            summary += f", {report.suppressed_count} suppressed inline"
+        print(("" if not report.findings else "\n") + summary)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST-based invariant linter for the repro codebase")
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""The lint engine: file discovery, parsing, rule dispatch, reporting.
+
+``run_lint`` is the library entry point (the CLI is a thin wrapper): collect
+``*.py`` files, parse each once into a :class:`FileContext`, run every rule's
+per-file pass, then every rule's cross-file ``finish`` pass, subtract inline
+suppressions and the committed baseline, and return a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline
+from .findings import Finding, sort_findings
+from .rules import default_rules
+from .rules.base import Rule, import_aliases, iter_functions
+from .suppress import SuppressionIndex
+
+PARSE_RULE_ID = "PARSE"
+
+
+class FileContext:
+    """Everything a rule may want about one source file, parsed once."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.aliases = import_aliases(tree)
+        self.suppressions = SuppressionIndex.from_source(self.lines)
+        self._functions: Optional[List[Tuple[ast.AST, str]]] = None
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def functions(self) -> List[Tuple[ast.AST, str]]:
+        """Cached (def node, qualified name) pairs, methods included."""
+        if self._functions is None:
+            self._functions = list(iter_functions(self.tree))
+        return self._functions
+
+
+@dataclass
+class LintReport:
+    """What one lint run produced, after suppression and baselining."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": len(self.baselined),
+            "suppressed": self.suppressed_count,
+            "clean": self.clean,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# file discovery
+# --------------------------------------------------------------------------- #
+_SKIP_DIRECTORIES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def collect_files(paths: Sequence[Path], root: Optional[Path] = None) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRECTORIES.intersection(candidate.parts):
+                    collected.append(candidate)
+        elif path.suffix == ".py":
+            collected.append(path)
+    unique: List[Path] = []
+    seen = set()
+    for path in collected:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def relative_posix(path: Path, root: Optional[Path] = None) -> str:
+    """``path`` relative to ``root`` (default: cwd) when possible, POSIX style."""
+    base = (root or Path.cwd()).resolve()
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# --------------------------------------------------------------------------- #
+# the run
+# --------------------------------------------------------------------------- #
+def lint_files(files: Sequence[Path], rules: Optional[Sequence[Rule]] = None,
+               baseline: Optional[Baseline] = None,
+               root: Optional[Path] = None) -> LintReport:
+    """Lint pre-collected files; see :func:`run_lint` for path expansion."""
+    active_rules = list(rules) if rules is not None else default_rules()
+    report = LintReport()
+    raw_findings: List[Finding] = []
+    contexts: Dict[str, FileContext] = {}
+
+    for path in files:
+        rel = relative_posix(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            raw_findings.append(Finding(
+                path=rel, line=line, column=1, rule_id=PARSE_RULE_ID,
+                message=f"file could not be parsed: {error.msg if isinstance(error, SyntaxError) else error}"))
+            report.files_checked += 1
+            continue
+        context = FileContext(rel, source, tree)
+        contexts[rel] = context
+        report.files_checked += 1
+        for rule in active_rules:
+            raw_findings.extend(rule.check_file(context))
+
+    # Cross-file pass: rules that accumulated project-wide state report here.
+    for rule in active_rules:
+        raw_findings.extend(rule.finish())
+
+    visible: List[Finding] = []
+    for finding in sort_findings(raw_findings):
+        context = contexts.get(finding.path)
+        if context is not None and context.suppressions.suppresses(finding):
+            report.suppressed_count += 1
+            continue
+        visible.append(finding)
+
+    if baseline is not None:
+        visible, matched = baseline.partition(visible)
+        report.baselined = matched
+    report.findings = visible
+    return report
+
+
+def run_lint(paths: Sequence, rules: Optional[Sequence[Rule]] = None,
+             baseline: Optional[Baseline] = None,
+             root: Optional[Path] = None) -> LintReport:
+    """Lint files/directories and return the post-baseline report."""
+    files = collect_files([Path(path) for path in paths], root=root)
+    return lint_files(files, rules=rules, baseline=baseline, root=root)

@@ -1,0 +1,48 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins one convention violation to a file/line/rule triple.  Findings
+are value objects: hashable, orderable by location, JSON-serialisable, and
+carry a *baseline key* — a line-number-free identity used by the committed
+baseline so grandfathered findings survive unrelated edits above them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``path`` is stored as a POSIX-style path relative to the lint root so
+    reports and baselines are machine-independent.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+    source_line: str = ""
+
+    def format_text(self) -> str:
+        """``path:line:col: RULE message`` — the one-line report form."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-number-free identity: (path, rule, stripped source text).
+
+        Keying on the offending line's text instead of its number keeps a
+        baseline entry attached to its finding while code above it moves.
+        """
+        return (self.path, self.rule_id, self.source_line.strip())
+
+
+def sort_findings(findings) -> list:
+    """Deterministic report order: by path, then line, then column, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule_id))

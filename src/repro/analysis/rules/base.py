@@ -1,0 +1,134 @@
+"""The pluggable rule framework: :class:`Rule` protocol + shared AST helpers.
+
+A rule sees one parsed file at a time through :meth:`Rule.check_file` and may
+keep state across files, emitting project-wide findings from
+:meth:`Rule.finish` once every file has been visited (the cross-file pass).
+Stateless per-file rules simply leave ``finish`` at its empty default.
+
+Rules receive a :class:`~repro.analysis.engine.FileContext` — path, source,
+AST, import aliases — and return plain :class:`Finding` lists; the engine owns
+suppression, baselining, ordering and reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..findings import Finding
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """What the engine requires of a lint rule."""
+
+    rule_id: str
+    description: str
+
+    def check_file(self, context: "FileContext") -> List[Finding]:  # noqa: F821
+        """Per-file pass: findings for one parsed module."""
+        ...
+
+    def finish(self) -> List[Finding]:
+        """Cross-file pass: findings that need the whole project (default none)."""
+        ...
+
+
+class BaseRule:
+    """Convenience base: subclass, set ``rule_id``/``description``, override hooks."""
+
+    rule_id = "RULE000"
+    description = ""
+
+    def check_file(self, context) -> List[Finding]:
+        return []
+
+    def finish(self) -> List[Finding]:
+        return []
+
+    # ------------------------------------------------------------------ #
+    def finding(self, context, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node`` inside ``context``'s file."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        source_line = context.line(line)
+        return Finding(path=context.path, line=line, column=column,
+                       rule_id=self.rule_id, message=message,
+                       source_line=source_line)
+
+
+# --------------------------------------------------------------------------- #
+# shared AST helpers
+# --------------------------------------------------------------------------- #
+def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Resolve ``a.b.c`` attribute chains to ``("a", "b", "c")``; None otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def resolve_call(node: ast.Call, aliases: Dict[str, str]) -> Optional[Tuple[str, ...]]:
+    """Dotted call target with the leading import alias canonicalised.
+
+    ``np.random.default_rng(...)`` resolves to ``("numpy", "random",
+    "default_rng")`` when the file did ``import numpy as np``.
+    """
+    chain = dotted_name(node.func)
+    if chain is None:
+        return None
+    root = aliases.get(chain[0])
+    if root is not None:
+        return tuple(root.split(".")) + chain[1:]
+    return chain
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the modules/objects they were imported as.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``; ``from datetime import
+    datetime as dt`` → ``{"dt": "datetime.datetime"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def name_tokens(identifier: str) -> List[str]:
+    """Lower-case word tokens of a snake_case or CamelCase identifier."""
+    flattened = _CAMEL_BOUNDARY.sub("_", identifier)
+    return [token for token in flattened.lower().split("_") if token]
+
+
+def iter_functions(tree: ast.Module) -> Iterable[Tuple[ast.AST, str]]:
+    """Yield every (def node, qualified name) pair, including methods."""
+
+    def walk(node: ast.AST, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualified = f"{prefix}{child.name}"
+                yield child, qualified
+                yield from walk(child, f"{qualified}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")

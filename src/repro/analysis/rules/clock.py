@@ -1,0 +1,63 @@
+"""CLK001 — virtual-time code must never read the wall clock directly.
+
+Replays are bit-reproducible because every latency, TTL and schedule derives
+from an injected clock (``TraceClock`` or a ``Callable[[], float]``).  A
+direct ``time.time()`` / ``time.perf_counter()`` / ``datetime.now()`` call
+silently couples behaviour to the host, so those calls are only allowed in the
+explicit wall-timing allowlist (benchmark harness, efficiency measurement,
+CLI timing blocks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from .base import BaseRule, resolve_call
+
+_WALL_CLOCK_CALLS: Tuple[Tuple[str, ...], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "datetime", "now"),
+    ("datetime", "datetime", "utcnow"),
+    ("datetime", "datetime", "today"),
+    ("datetime", "date", "today"),
+)
+
+# Files whose whole purpose is measuring wall time.
+DEFAULT_CLOCK_ALLOWLIST: Tuple[str, ...] = (
+    "repro/eval/timing.py",
+    "repro/perf/bench.py",
+    "repro/cli.py",
+)
+
+
+class WallClockRule(BaseRule):
+    """Flag direct wall-clock reads outside the timing allowlist."""
+
+    rule_id = "CLK001"
+    description = ("wall-clock reads are only allowed in the timing allowlist; "
+                   "virtual-time code must use an injected clock")
+
+    def __init__(self, allowlist: Iterable[str] = DEFAULT_CLOCK_ALLOWLIST) -> None:
+        self.allowlist = tuple(allowlist)
+
+    def check_file(self, context) -> List:
+        posix_path = context.path.replace("\\", "/")
+        if any(posix_path.endswith(entry) for entry in self.allowlist):
+            return []
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = resolve_call(node, context.aliases)
+            if chain in _WALL_CLOCK_CALLS:
+                findings.append(self.finding(
+                    context, node,
+                    f"direct wall-clock call {'.'.join(chain)}() — inject a "
+                    f"clock (TraceClock or Callable[[], float]) instead"))
+        return findings

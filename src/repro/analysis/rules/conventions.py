@@ -1,0 +1,155 @@
+"""Repo-convention rules: NaN measurements (NAN001) and generic Python
+hazards the serving stack has been bitten by (MUT001, EXC001).
+
+NAN001 encodes the repo-wide *undefined-measurement-is-NaN* convention: a
+rate, latency, average or similar measurement with no data must return
+``float("nan")`` — never ``0.0``, which silently reads as "measured and
+perfect" in dashboards, regression gates and merged telemetry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .base import BaseRule, dotted_name, name_tokens
+
+# A function is "measurement-like" when its name contains one of these tokens…
+_MEASUREMENT_NAME_TOKENS = frozenset({
+    "rate", "ratio", "latency", "avg", "average", "mean", "density",
+    "duration", "qps", "throughput", "reward", "loss", "fraction", "share",
+})
+# …or its docstring's first line contains one of these phrases.
+_MEASUREMENT_DOC_PHRASES = (
+    "fraction of", "share of", "average", "per second", "latency",
+    "density", "duration", "loss",
+)
+
+
+def _is_measurement_function(node: ast.AST) -> bool:
+    if _MEASUREMENT_NAME_TOKENS & set(name_tokens(node.name)):
+        return True
+    docstring = ast.get_docstring(node)
+    if not docstring:
+        return False
+    first_line = docstring.strip().splitlines()[0].lower()
+    return any(phrase in first_line for phrase in _MEASUREMENT_DOC_PHRASES)
+
+
+def _own_statements(function: ast.AST):
+    """Walk a function's body without descending into nested defs/classes."""
+    stack = list(function.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class NaNMeasurementRule(BaseRule):
+    """NAN001 — undefined measurements return NaN, never a literal zero."""
+
+    rule_id = "NAN001"
+    description = ("measurement-like functions (rates, latencies, averages, …) "
+                   "must return float('nan') for the undefined case, not 0.0")
+
+    def check_file(self, context) -> List:
+        findings = []
+        for function, qualified in context.functions():
+            if not _is_measurement_function(function):
+                continue
+            for node in _own_statements(function):
+                if not isinstance(node, ast.Return):
+                    continue
+                if self._is_zero_literal(node.value):
+                    findings.append(self.finding(
+                        context, node,
+                        f"{qualified}() looks like a measurement but returns a "
+                        f"literal zero — undefined measurements must be "
+                        f"float('nan') (annotate genuine zeros with "
+                        f"`# repro: ignore[NAN001] <reason>`)"))
+        return findings
+
+    @staticmethod
+    def _is_zero_literal(node: Optional[ast.AST]) -> bool:
+        return (isinstance(node, ast.Constant)
+                and not isinstance(node.value, bool)
+                and isinstance(node.value, (int, float))
+                and node.value == 0)
+
+
+class MutableDefaultRule(BaseRule):
+    """MUT001 — mutable default arguments are shared across calls."""
+
+    rule_id = "MUT001"
+    description = "mutable default argument (list/dict/set) — default to None"
+
+    def check_file(self, context) -> List:
+        findings = []
+        for function, qualified in context.functions():
+            defaults = list(function.args.defaults)
+            defaults += [item for item in function.args.kw_defaults if item is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    findings.append(self.finding(
+                        context, default,
+                        f"mutable default argument in {qualified}() is shared "
+                        f"across calls — use None and create it in the body"))
+        return findings
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return dotted_name(node.func) in (("list",), ("dict",), ("set",))
+        return False
+
+
+class OverbroadExceptRule(BaseRule):
+    """EXC001 — bare/overbroad exception handlers swallow real failures.
+
+    Flags ``except:``, ``except BaseException`` and ``except Exception``
+    handlers that do not re-raise; a handler containing a ``raise`` keeps the
+    failure observable and passes.
+    """
+
+    rule_id = "EXC001"
+    description = ("bare or overbroad except clause — catch specific "
+                   "exceptions or re-raise")
+
+    def check_file(self, context) -> List:
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._overbroad_label(node.type)
+            if label is None:
+                continue
+            if label != "bare except:" and self._reraises(node):
+                continue
+            findings.append(self.finding(
+                context, node,
+                f"{label} swallows unrelated failures — catch specific "
+                f"exception types or re-raise"))
+        return findings
+
+    @staticmethod
+    def _overbroad_label(type_node: Optional[ast.AST]) -> Optional[str]:
+        if type_node is None:
+            return "bare except:"
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [dotted_name(item) for item in type_node.elts]
+        else:
+            names = [dotted_name(type_node)]
+        for name in names:
+            if name in (("Exception",), ("BaseException",)):
+                return f"except {name[0]} without re-raise"
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))

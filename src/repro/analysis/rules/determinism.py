@@ -1,0 +1,141 @@
+"""Determinism rules: seeded randomness (DET001) and ordered signatures (SIG001).
+
+The whole repo rests on bit-reproducible replays: every RNG must arrive as a
+parameter or derive from an explicit seed, and anything folded into a replay
+``signature()``/fingerprint must iterate in a deterministic order.  These
+rules make both conventions machine-checked instead of review-time folklore.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .base import BaseRule, dotted_name, resolve_call
+
+# numpy.random.* entry points that are deterministic when given an argument.
+_SEEDABLE_CONSTRUCTORS = {"default_rng", "Generator", "SeedSequence", "PCG64",
+                          "Philox", "MT19937", "SFC64", "RandomState"}
+# stdlib random constructors that are fine when seeded.
+_STDLIB_CONSTRUCTORS = {"Random"}
+
+
+class SeededRandomnessRule(BaseRule):
+    """DET001 — randomness must be injected or derived from an explicit seed.
+
+    Flags ``np.random.default_rng()`` (and friends) called without a seed, any
+    legacy module-level ``np.random.*`` call (hidden global state), and
+    module-level ``random.*`` calls from the stdlib.  ``default_rng(seed)``,
+    ``random.Random(seed)`` and methods on generator *instances* all pass.
+    """
+
+    rule_id = "DET001"
+    description = ("RNG must be injected as a parameter or constructed from an "
+                   "explicit seed; module-level random state is forbidden")
+
+    def check_file(self, context) -> List:
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = resolve_call(node, context.aliases)
+            if chain is None:
+                continue
+            message = self._violation(node, chain)
+            if message is not None:
+                findings.append(self.finding(context, node, message))
+        return findings
+
+    @staticmethod
+    def _violation(node: ast.Call, chain) -> str:
+        has_arguments = bool(node.args or node.keywords)
+        if len(chain) >= 2 and chain[0] == "numpy" and chain[1] == "random":
+            tail = chain[-1]
+            if tail in _SEEDABLE_CONSTRUCTORS:
+                if not has_arguments:
+                    return (f"unseeded np.random.{tail}() — pass a seed or accept "
+                            f"an injected Generator")
+                return None
+            return (f"module-level np.random.{tail}() uses hidden global state — "
+                    f"call it on an injected, seeded Generator instead")
+        if len(chain) == 2 and chain[0] == "random":
+            tail = chain[1]
+            if tail in _STDLIB_CONSTRUCTORS:
+                if not has_arguments:
+                    return "unseeded random.Random() — pass an explicit seed"
+                return None
+            if tail == "SystemRandom":
+                return "random.SystemRandom is nondeterministic by design"
+            return (f"module-level random.{tail}() uses hidden global state — "
+                    f"use a seeded random.Random or numpy Generator instance")
+        return None
+
+
+_SIGNATURE_MARKERS = ("signature", "fingerprint", "ledger")
+
+
+class OrderedSignatureRule(BaseRule):
+    """SIG001 — no iteration over unordered sets inside signature code.
+
+    Inside any function whose name marks it as producing a signature,
+    fingerprint or ledger, iterating a ``set`` (literal, comprehension,
+    ``set()``/``frozenset()`` call, or a local variable assigned one) is a
+    replay-determinism hazard: wrap it in ``sorted(...)`` first.
+    """
+
+    rule_id = "SIG001"
+    description = ("signature/fingerprint/ledger code must not iterate "
+                   "unordered sets — sort them first")
+
+    def check_file(self, context) -> List:
+        findings = []
+        for function, qualified in context.functions():
+            name = function.name.lower()
+            if not any(marker in name for marker in _SIGNATURE_MARKERS):
+                continue
+            set_locals = self._set_valued_locals(function)
+            for iter_node in self._iteration_sources(function):
+                if self._is_set_like(iter_node, set_locals, context.aliases):
+                    findings.append(self.finding(
+                        context, iter_node,
+                        f"iteration over an unordered set inside {qualified}() "
+                        f"— wrap it in sorted(...) to keep the "
+                        f"signature replay-deterministic"))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _iteration_sources(function: ast.AST):
+        for node in ast.walk(function):
+            if isinstance(node, ast.For):
+                yield node.iter
+            elif isinstance(node, ast.comprehension):
+                yield node.iter
+
+    @staticmethod
+    def _set_valued_locals(function: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not OrderedSignatureRule._is_set_expression(node.value):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_set_expression(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            return chain in (("set",), ("frozenset",))
+        return False
+
+    @classmethod
+    def _is_set_like(cls, node: ast.AST, set_locals: Set[str], aliases) -> bool:
+        if cls._is_set_expression(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in set_locals

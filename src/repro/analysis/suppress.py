@@ -1,0 +1,56 @@
+"""Inline suppression comments: ``# repro: ignore[RULE1,RULE2] reason``.
+
+A suppression silences matching findings on the *same* physical line, or — for
+a comment that stands alone on its own line — on the next line, so long
+messages can sit above the statement they annotate::
+
+    rng = np.random.default_rng()  # repro: ignore[DET001] fixture only
+
+    # repro: ignore[NAN001] zero reward is a real reward, not a measurement
+    return 0.0
+
+``ignore[*]`` suppresses every rule on the target line.  Suppressions are
+parsed lexically (no AST) so they also work in files the parser rejects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+from .findings import Finding
+
+SUPPRESS_PATTERN = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+
+_WILDCARD = "*"
+
+
+class SuppressionIndex:
+    """Maps 1-based line numbers to the set of rule ids suppressed there."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+        self._by_line = by_line
+
+    @classmethod
+    def from_source(cls, source_lines: Sequence[str]) -> "SuppressionIndex":
+        by_line: Dict[int, FrozenSet[str]] = {}
+        for index, text in enumerate(source_lines, start=1):
+            match = SUPPRESS_PATTERN.search(text)
+            if match is None:
+                continue
+            rules = frozenset(token.strip() for token in match.group(1).split(",")
+                              if token.strip())
+            if not rules:
+                continue
+            target = index + 1 if text.lstrip().startswith("#") else index
+            by_line[target] = by_line.get(target, frozenset()) | rules
+        return cls(by_line)
+
+    def suppresses(self, finding: Finding) -> bool:
+        rules = self._by_line.get(finding.line)
+        if not rules:
+            return False
+        return _WILDCARD in rules or finding.rule_id in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)

@@ -10,8 +10,7 @@ the paper's efficiency table, a property this implementation preserves.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

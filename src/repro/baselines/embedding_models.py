@@ -12,7 +12,7 @@ exactly the explainability gap the paper's RL methods address.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ stages.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List
 
 import numpy as np
 

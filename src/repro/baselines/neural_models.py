@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Set
 
 import numpy as np
@@ -20,7 +19,6 @@ import numpy as np
 from ..data.schema import InteractionDataset, TrainTestSplit
 from ..embeddings import TransEConfig, train_transe
 from ..kg import build_knowledge_graph
-from ..kg.entities import EntityType
 from .base import BaselineRecommender
 
 

@@ -9,15 +9,12 @@ number of rule instances that reach them.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from itertools import product as cartesian_product
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..data.schema import InteractionDataset, TrainTestSplit
 from ..kg import build_knowledge_graph
-from ..kg.entities import EntityType
 from ..kg.relations import Relation
 from .base import BaselineRecommender
 

@@ -16,6 +16,7 @@ import numpy as np
 from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
+from ..nn.init import ensure_rng
 
 _MASK_FILL = -1e9
 
@@ -27,7 +28,7 @@ class CategoryAttentionLayer(nn.Module):
                  rng: Optional[np.random.Generator] = None) -> None:
         if embedding_dim <= 0:
             raise ValueError("embedding_dim must be positive")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.embedding_dim = embedding_dim
         self.negative_slope = negative_slope
         self.score_transform = nn.Linear(2 * embedding_dim, 1, rng=rng)

@@ -15,6 +15,7 @@ import numpy as np
 from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
+from ..nn.init import ensure_rng
 
 
 class GatedAggregationLayer(nn.Module):
@@ -23,7 +24,7 @@ class GatedAggregationLayer(nn.Module):
     def __init__(self, embedding_dim: int, rng: Optional[np.random.Generator] = None) -> None:
         if embedding_dim <= 0:
             raise ValueError("embedding_dim must be positive")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.embedding_dim = embedding_dim
         # Eq. 4: update gate z_i
         self.update_from_message = nn.Linear(embedding_dim, embedding_dim, bias=False, rng=rng)

@@ -13,7 +13,7 @@ while item neighbours contribute the representation of the previous GNN layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from .. import nn
 from ..embeddings.transe import TransEModel, category_embeddings
 from ..kg.entities import EntityType
 from ..kg.graph import KnowledgeGraph
-from ..kg.relations import Relation, all_relations, relation_index
+from ..kg.relations import Relation, relation_index
 from ..nn import Tensor
 from .category_attention import CategoryAttentionLayer
 from .gating import GatedAggregationLayer

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..kg.entities import EntityType
 from ..kg.graph import KnowledgeGraph
-from ..kg.relations import Relation, is_inverse, relation_index
+from ..kg.relations import is_inverse, relation_index
 
 
 @dataclass

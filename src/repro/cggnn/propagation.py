@@ -18,6 +18,7 @@ import numpy as np
 from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
+from ..nn.init import ensure_rng
 
 
 class AdaptivePropagationLayer(nn.Module):
@@ -26,7 +27,7 @@ class AdaptivePropagationLayer(nn.Module):
     def __init__(self, embedding_dim: int, rng: Optional[np.random.Generator] = None) -> None:
         if embedding_dim <= 0:
             raise ValueError("embedding_dim must be positive")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.embedding_dim = embedding_dim
         self.triplet_transform = nn.Linear(4 * embedding_dim, embedding_dim, rng=rng)
         self.attention = nn.Linear(embedding_dim, 1, rng=rng)

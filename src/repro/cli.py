@@ -33,6 +33,12 @@ Commands
 ``experiments``
     Run the paper's tables/figures (replaces the old ad-hoc
     ``repro.experiments.runner`` argparse).
+``lint``
+    Run the AST-based invariant linter (``repro.analysis``) over the given
+    paths: seeded-RNG injection (DET001), no wall-clock reads outside the
+    timing allowlist (CLK001), NaN-not-0.0 undefined measurements (NAN001),
+    mutable defaults (MUT001), overbroad excepts (EXC001) and set-iteration
+    hazards in signature code (SIG001).  Exit 0 clean, 1 findings, 2 usage.
 ``bench``
     Run the seeded performance benchmarks (``repro.perf``): TransE epochs/s,
     DARL rollouts/s and beam-search serving QPS (cold & warm), each measured
@@ -53,6 +59,7 @@ Examples
     python -m repro simulate --autoscale --min-shards 2 --max-shards 6 --max-queue 8
     python -m repro experiments --profile smoke --only table1 fig5
     python -m repro bench --profile smoke --out benchmarks
+    python -m repro lint src/ tests/ --format json
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .analysis.cli import add_lint_arguments, run_lint_command
 from .pipeline import Pipeline, PipelineError, PipelineResult, RunConfig, load_pipeline
 
 
@@ -620,6 +628,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--only", nargs="*", default=None,
                              help="subset of experiment keys (e.g. table1 fig5)")
     experiments.set_defaults(handler=_command_experiments)
+
+    lint = commands.add_parser("lint",
+                               help="AST invariant linter over the repo's "
+                                    "determinism/clock/NaN conventions")
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=run_lint_command)
 
     return parser
 

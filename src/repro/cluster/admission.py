@@ -13,7 +13,7 @@ admission depends only on request order within the burst.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

@@ -10,7 +10,7 @@ interface, so training-time and inference-time behaviour cannot drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -10,8 +10,8 @@ updated through the shared networks with REINFORCE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -144,12 +144,16 @@ class DARLTrainer:
                     if episode.final_entity in positives:
                         hits += 1
                     losses.append(loss)
+            # Empty episodes report a NaN loss (nothing was measured); average
+            # only over episodes that actually performed an update.
+            measured_losses = [loss for loss in losses if not np.isnan(loss)]
             stats = EpochStats(
                 epoch=epoch,
                 mean_entity_reward=float(np.mean(entity_rewards)) if entity_rewards else 0.0,
                 mean_category_reward=float(np.mean(category_rewards)) if category_rewards else 0.0,
                 hit_rate=hits / max(episodes, 1),
-                policy_loss=float(np.mean(losses)) if losses else 0.0,
+                policy_loss=(float(np.mean(measured_losses))
+                             if measured_losses else float("nan")),
             )
             self.history.append(stats)
         return self.history
@@ -291,7 +295,7 @@ class DARLTrainer:
                                              self.reinforce_config, self._category_baseline,
                                              entropies=category_entropies)
         if entity_loss is None and category_loss is None:
-            return 0.0
+            return float("nan")  # neither agent recorded a decision: no loss measured
         if entity_loss is None:
             total = category_loss
         elif category_loss is None:

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence
 
-from ..data.schema import InteractionDataset, TrainTestSplit
+from ..data.schema import TrainTestSplit
 from ..data.splits import test_user_items
 from .metrics import aggregate_metrics, all_metrics, as_percentages
 

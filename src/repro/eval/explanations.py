@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..kg.entities import EntityType
 from ..kg.graph import KnowledgeGraph
@@ -68,6 +68,6 @@ def path_length_histogram(paths: Sequence[RecommendationPath]) -> Dict[int, int]
 def fraction_beyond_three_hops(paths: Sequence[RecommendationPath]) -> float:
     """Share of explanation paths longer than the 3-hop limit of prior work."""
     if not paths:
-        return 0.0
+        return float("nan")  # no paths: the share is undefined, not 0
     beyond = sum(1 for path in paths if path.length > 3)
     return beyond / len(paths)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import List, Protocol, Sequence
 
 
 class PathProducingRecommender(Protocol):

@@ -10,17 +10,12 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from ..baselines import SingleAgentConfig, build_baseline
 from ..data.splits import test_user_items
-from ..eval.explanations import (
-    categories_along_path,
-    explain_recommendations,
-    fraction_beyond_three_hops,
-    render_path,
-)
-from .common import ExperimentSetting, format_table, prepare_dataset, trained_cadrl
+from ..eval.explanations import categories_along_path, fraction_beyond_three_hops, render_path
+from .common import ExperimentSetting, prepare_dataset, trained_cadrl
 
 
 @dataclass

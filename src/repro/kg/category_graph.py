@@ -100,7 +100,7 @@ class CategoryGraph:
     def density(self) -> float:
         """Edge density of ``Gc`` — the paper notes ``Gc`` is densely connected."""
         if self.num_categories <= 1:
-            return 0.0
+            return float("nan")  # density needs at least one possible edge
         possible = self.num_categories * (self.num_categories - 1)
         actual = sum(len(self.neighbors(c)) for c in range(self.num_categories))
         return actual / possible

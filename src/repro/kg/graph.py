@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .adjacency import CSRAdjacency, compile_adjacency, patch_adjacency
-from .entities import Entity, EntityStore, EntityType
+from .entities import EntityStore, EntityType
 from .relations import Relation, inverse_of, schema_is_valid
 
 
@@ -273,7 +273,7 @@ class KnowledgeGraph:
     def average_items_per_category(self) -> float:
         """Items per category, the sparsity driver discussed for Clothing (RQ1)."""
         if self.num_categories == 0:
-            return 0.0
+            return float("nan")  # no categories: the average is undefined, not 0
         return len(self._item_category) / self.num_categories
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

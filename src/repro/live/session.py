@@ -29,7 +29,7 @@ drives it unchanged.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..pipeline.artifacts import ArtifactStore

@@ -26,7 +26,7 @@ is ever shed because of a swap; the CI smoke test asserts
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .refresh import GenerationBundle

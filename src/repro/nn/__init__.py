@@ -6,6 +6,8 @@ initialisation and the SGD/Adam optimisers the paper relies on.
 """
 
 from . import functional
+from . import init
+from .init import DEFAULT_SEED, ensure_rng
 from .layers import MLP, Embedding, Linear, Sequential
 from .module import Module
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
@@ -14,6 +16,7 @@ from .tensor import Tensor, concat, ones, stack, tensor, zeros
 
 __all__ = [
     "Adam",
+    "DEFAULT_SEED",
     "Embedding",
     "GRUCell",
     "HistoryEncoder",
@@ -28,7 +31,9 @@ __all__ = [
     "clip_grad_norm",
     "concat",
     "concat_history",
+    "ensure_rng",
     "functional",
+    "init",
     "ones",
     "stack",
     "tensor",

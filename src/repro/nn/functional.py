@@ -6,7 +6,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .init import DEFAULT_SEED
 from .tensor import Tensor
+
+# Shared fallback stream for dropout masks: seeded once from DEFAULT_SEED so
+# runs are reproducible, module-level so successive calls still draw fresh
+# masks (a per-call seeded generator would repeat the same mask every call).
+_fallback_dropout_rng: Optional[np.random.Generator] = None
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -49,7 +55,10 @@ def dropout(x: Tensor, rate: float, rng: Optional[np.random.Generator] = None,
     if not training or rate <= 0.0:
         return x
     if rng is None:
-        rng = np.random.default_rng()
+        global _fallback_dropout_rng
+        if _fallback_dropout_rng is None:
+            _fallback_dropout_rng = np.random.default_rng(DEFAULT_SEED)
+        rng = _fallback_dropout_rng
     mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
     return x * Tensor(mask)
 

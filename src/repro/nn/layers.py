@@ -29,7 +29,7 @@ class Linear(Module):
                  rng: Optional[np.random.Generator] = None) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = init.ensure_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Tensor(init.xavier_uniform((in_features, out_features), rng),
@@ -51,7 +51,7 @@ class Embedding(Module):
                  rng: Optional[np.random.Generator] = None, std: float = 0.1) -> None:
         if num_embeddings <= 0 or embedding_dim <= 0:
             raise ValueError("Embedding dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = init.ensure_rng(rng)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Tensor(init.normal((num_embeddings, embedding_dim), rng, std=std),
@@ -72,7 +72,7 @@ class MLP(Module):
                  rng: Optional[np.random.Generator] = None) -> None:
         if len(dims) < 2:
             raise ValueError("MLP requires at least an input and an output dimension")
-        rng = rng or np.random.default_rng()
+        rng = init.ensure_rng(rng)
         self.activation = activation
         self.layers: List[Linear] = [
             Linear(dims[i], dims[i + 1], rng=rng) for i in range(len(dims) - 1)

@@ -24,7 +24,7 @@ class LSTMCell(Module):
                  rng: Optional[np.random.Generator] = None) -> None:
         if input_size <= 0 or hidden_size <= 0:
             raise ValueError("LSTMCell dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = init.ensure_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
         gate_dim = 4 * hidden_size
@@ -61,7 +61,7 @@ class GRUCell(Module):
                  rng: Optional[np.random.Generator] = None) -> None:
         if input_size <= 0 or hidden_size <= 0:
             raise ValueError("GRUCell dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = init.ensure_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
         gate_dim = 3 * hidden_size

@@ -15,7 +15,7 @@ for elementwise binary operations via :func:`_unbroadcast`.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-import numpy as np
 
 from ..cggnn import CGGNN, Representations, train_cggnn
 from ..darl import CADRL, PolicyConfig, SharedPolicyNetworks

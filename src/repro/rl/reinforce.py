@@ -11,9 +11,8 @@ representations are frozen by that point).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
 
 from .. import nn
 from ..nn import Tensor
@@ -89,7 +88,7 @@ def apply_update(loss: Optional[Tensor], parameters: Sequence[Tensor],
                  optimiser: nn.Optimizer, config: ReinforceConfig) -> float:
     """Backpropagate ``loss`` and step the optimiser; returns the loss value."""
     if loss is None:
-        return 0.0
+        return float("nan")  # no update performed, so no loss was measured
     optimiser.zero_grad()
     loss.backward()
     nn.clip_grad_norm(list(parameters), config.gradient_clip)

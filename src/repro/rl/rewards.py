@@ -75,7 +75,7 @@ def consistency_reward(category_state_vector: np.ndarray,
     """
     length = min(len(category_state_vector), len(entity_state_vector))
     if length == 0:
-        return 0.0
+        return 0.0  # repro: ignore[NAN001] cosine convention: degenerate vectors score 0, and rewards must stay finite
     return cosine_similarity(category_state_vector[:length], entity_state_vector[:length])
 
 

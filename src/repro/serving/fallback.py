@@ -15,7 +15,7 @@ The :class:`TieredRanker` therefore degrades gracefully per request:
 from __future__ import annotations
 
 from enum import Enum
-from typing import Iterable, List, Optional, Protocol
+from typing import Iterable, List, Protocol
 
 import numpy as np
 

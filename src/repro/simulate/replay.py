@@ -37,7 +37,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..rl.trajectory import RecommendationPath
 from ..serving.fallback import ServingTier
@@ -189,13 +189,20 @@ class ReplayDriver:
     ``clock`` enables virtual-time replay: pass the :class:`TraceClock` the
     service was constructed with and the driver advances it to each batch's
     arrival time before serving, making the replay deterministic.
+
+    ``wall_timer`` measures the replay's real elapsed time for the throughput
+    report (``ReplayResult.wall_seconds``); it is injected — defaulting to
+    ``time.perf_counter`` — so the driver itself never reads the wall clock
+    directly and tests can substitute a deterministic timer.
     """
 
-    def __init__(self, service, clock: Optional[TraceClock] = None) -> None:
+    def __init__(self, service, clock: Optional[TraceClock] = None,
+                 wall_timer: Callable[[], float] = time.perf_counter) -> None:
         if not (hasattr(service, "serve_many") or hasattr(service, "serve")):
             raise TypeError("service must expose serve_many() or serve()")
         self.service = service
         self.clock = clock
+        self.wall_timer = wall_timer
 
     # ------------------------------------------------------------------ #
     def replay(self, workload: Workload,
@@ -204,7 +211,7 @@ class ReplayDriver:
         config = config or ReplayConfig()
         config.validate()
         result = ReplayResult(workload=workload, replay_config=config)
-        start = time.perf_counter()
+        start = self.wall_timer()
         for batch in self._batches(workload, config):
             if self.clock is not None:
                 self.clock.advance_to(batch[0].arrival_s)
@@ -227,7 +234,7 @@ class ReplayDriver:
                     shed=getattr(response, "shed", False),
                     generation=getattr(response, "generation", 0),
                 ))
-        result.wall_seconds = time.perf_counter() - start
+        result.wall_seconds = self.wall_timer() - start
         return result
 
     # ------------------------------------------------------------------ #

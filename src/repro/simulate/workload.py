@@ -186,7 +186,7 @@ class Workload:
     def duration_s(self) -> float:
         """Trace-time span from first to last arrival."""
         if not self.requests:
-            return 0.0
+            return float("nan")  # an empty trace has no span to measure
         return self.requests[-1].arrival_s - self.requests[0].arrival_s
 
     def distinct_users(self) -> int:

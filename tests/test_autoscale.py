@@ -17,7 +17,6 @@ The headline guarantees under test:
 """
 
 import dataclasses
-import math
 from types import SimpleNamespace
 
 import pytest

@@ -10,8 +10,6 @@ from repro.baselines import (
     SingleAgentConfig,
     build_baseline,
 )
-from repro.baselines.rl_single import PGPRRecommender, UCPRRecommender
-from repro.data.splits import test_user_items as held_out_items
 
 FAST_RL_CONFIG = SingleAgentConfig(epochs=1, transe_epochs=3, max_actions=15,
                                    beam_width=8, expansions_per_beam=2, seed=0)

@@ -66,23 +66,23 @@ class TestLayers:
     def test_propagation_layer_output_shape(self, rng):
         layer = AdaptivePropagationLayer(8, rng=rng)
         items, neighbors = 5, 4
-        out = layer(Tensor(np.random.rand(items, 8)), Tensor(np.random.rand(items, neighbors, 8)),
-                    Tensor(np.random.rand(items, neighbors, 8)), Tensor(np.random.rand(8)),
+        out = layer(Tensor(rng.random((items, 8))), Tensor(rng.random((items, neighbors, 8))),
+                    Tensor(rng.random((items, neighbors, 8))), Tensor(rng.random(8)),
                     np.ones((items, neighbors)), np.ones((items, neighbors)))
         assert out.shape == (items, 8)
 
     def test_propagation_respects_mask(self, rng):
         layer = AdaptivePropagationLayer(8, rng=rng)
         items, neighbors = 3, 4
-        args = (Tensor(np.random.rand(items, 8)), Tensor(np.random.rand(items, neighbors, 8)),
-                Tensor(np.random.rand(items, neighbors, 8)), Tensor(np.random.rand(8)))
+        args = (Tensor(rng.random((items, 8))), Tensor(rng.random((items, neighbors, 8))),
+                Tensor(rng.random((items, neighbors, 8))), Tensor(rng.random(8)))
         masked = layer(*args, np.zeros((items, neighbors)), np.ones((items, neighbors)))
         assert np.allclose(masked.data, 0.0)
 
     def test_gated_aggregation_interpolates(self, rng):
         layer = GatedAggregationLayer(8, rng=rng)
         message = Tensor(np.zeros((4, 8)))
-        states = Tensor(np.random.rand(4, 8))
+        states = Tensor(rng.random((4, 8)))
         out = layer(message, states)
         assert out.shape == (4, 8)
         assert np.all(np.isfinite(out.data))
@@ -90,8 +90,8 @@ class TestLayers:
     def test_category_attention_weights_sum_to_one_effectively(self, rng):
         layer = CategoryAttentionLayer(8, rng=rng)
         items, cats = 4, 3
-        item_states = Tensor(np.random.rand(items, 8))
-        category_states = Tensor(np.random.rand(items, cats, 8))
+        item_states = Tensor(rng.random((items, 8)))
+        category_states = Tensor(rng.random((items, cats, 8)))
         mask = np.ones((items, cats))
         out = layer(item_states, category_states, mask)
         assert out.shape == (items, 8)
@@ -194,3 +194,16 @@ class TestCGGNNTraining:
         trainer = CGGNNTrainer(small_cggnn, graph)
         positions = set(range(small_cggnn.table.num_items))
         assert all(int(pair[1]) in positions for pair in trainer._pairs)
+
+
+class TestDefaultSeedReproducibility:
+    """CGGNN layers built without an rng must be bit-identical across
+    constructions (seeded fallback, the DET001 convention)."""
+
+    @pytest.mark.parametrize("layer_class", [AdaptivePropagationLayer,
+                                             GatedAggregationLayer,
+                                             CategoryAttentionLayer])
+    def test_bare_layer_construction_is_reproducible(self, layer_class):
+        first, second = layer_class(8), layer_class(8)
+        for a, b in zip(first.parameters(), second.parameters()):
+            assert np.array_equal(a.data, b.data)

@@ -13,7 +13,6 @@ The headline guarantees under test:
 * cluster telemetry merges raw shard windows into exact pooled aggregates.
 """
 
-import dataclasses
 import json
 import math
 

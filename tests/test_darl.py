@@ -3,24 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.darl import (
-    CADRL,
-    CADRLConfig,
-    CategoryAgent,
-    DARLConfig,
-    DARLTrainer,
-    EntityAgent,
-    GuidanceModel,
-    InferenceConfig,
-    PathRecommender,
-    PolicyConfig,
-    SharedPolicyNetworks,
-    build_variant,
-    VARIANT_FACTORIES,
-)
+from repro.darl import CADRL, CADRLConfig, DARLConfig, DARLTrainer, GuidanceModel, InferenceConfig, PathRecommender, PolicyConfig, SharedPolicyNetworks, build_variant, VARIANT_FACTORIES
 from repro.kg import Relation
 from repro.nn import Tensor
-from repro.rl import CategoryEnvironment, EntityEnvironment
 
 
 @pytest.fixture(scope="module")
@@ -43,14 +28,14 @@ class TestSharedPolicy:
         with pytest.raises(ValueError):
             PolicyConfig(embedding_dim=0).validate()
 
-    def test_entity_logits_shape(self, policy):
+    def test_entity_logits_shape(self, policy, rng):
         logits = policy.entity_action_logits(np.ones(16), np.ones(16), Tensor(np.zeros(8)),
-                                             np.random.rand(5, 32))
+                                             rng.random((5, 32)))
         assert logits.shape == (5,)
 
-    def test_category_logits_shape(self, policy):
+    def test_category_logits_shape(self, policy, rng):
         logits = policy.category_action_logits(np.ones(16), np.ones(16), Tensor(np.zeros(8)),
-                                               np.random.rand(3, 16))
+                                               rng.random((3, 16)))
         assert logits.shape == (3,)
 
     def test_history_encoding_changes_hidden(self, policy):
@@ -69,26 +54,26 @@ class TestSharedPolicy:
                                                            no_share.initial_category_state())
         assert np.allclose(with_partner.data, without_partner.data)
 
-    def test_numpy_fast_path_matches_tensor_path(self, policy):
-        entity_vec, relation_vec = np.random.rand(16), np.random.rand(16)
-        actions = np.random.rand(6, 32)
-        hidden = np.random.rand(8)
+    def test_numpy_fast_path_matches_tensor_path(self, policy, rng):
+        entity_vec, relation_vec = rng.random(16), rng.random(16)
+        actions = rng.random((6, 32))
+        hidden = rng.random(8)
         slow = policy.entity_action_logits(entity_vec, relation_vec, Tensor(hidden), actions)
         fast = policy.entity_action_logits_numpy(entity_vec, relation_vec, hidden, actions)
         assert np.allclose(slow.data, fast)
 
-    def test_numpy_lstm_matches_tensor_lstm(self, policy):
-        relation_vec, entity_vec = np.random.rand(16), np.random.rand(16)
+    def test_numpy_lstm_matches_tensor_lstm(self, policy, rng):
+        relation_vec, entity_vec = rng.random(16), rng.random(16)
         slow_hidden, _ = policy.encode_entity_step(relation_vec, entity_vec, None,
                                                    policy.initial_entity_state())
         fast_hidden, _ = policy.encode_entity_step_numpy(relation_vec, entity_vec, None,
                                                          policy.initial_state_numpy())
         assert np.allclose(slow_hidden.data, fast_hidden)
 
-    def test_category_numpy_matches_tensor(self, policy):
-        user_vec, category_vec = np.random.rand(16), np.random.rand(16)
-        actions = np.random.rand(4, 16)
-        hidden = np.random.rand(8)
+    def test_category_numpy_matches_tensor(self, policy, rng):
+        user_vec, category_vec = rng.random(16), rng.random(16)
+        actions = rng.random((4, 16))
+        hidden = rng.random(8)
         slow = policy.category_action_logits(user_vec, category_vec, Tensor(hidden), actions)
         fast = policy.category_action_logits_numpy(user_vec, category_vec, hidden, actions)
         assert np.allclose(slow.data, fast)

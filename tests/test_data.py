@@ -1,8 +1,6 @@
 """Unit tests for the dataset substrate (schema, generator, presets, splits, I/O)."""
 
-import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.data import (

@@ -211,4 +211,5 @@ class TestExplanations:
         histogram = path_length_histogram([path, long_path])
         assert histogram == {2: 1, 5: 1}
         assert fraction_beyond_three_hops([path, long_path]) == pytest.approx(0.5)
-        assert fraction_beyond_three_hops([]) == 0.0
+        # NaN convention: with no paths the share is undefined, not 0.
+        assert np.isnan(fraction_beyond_three_hops([]))

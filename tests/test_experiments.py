@@ -2,18 +2,7 @@
 
 import pytest
 
-from repro.experiments import (
-    EXPERIMENTS,
-    fig3_cggnn_modules,
-    fig4_darl_modules,
-    fig5_path_length,
-    fig6_hyperparams,
-    fig7_case_study,
-    table1_accuracy,
-    table2_datasets,
-    table3_efficiency,
-    table4_ablation,
-)
+from repro.experiments import EXPERIMENTS, fig5_path_length, fig6_hyperparams, fig7_case_study, table1_accuracy, table2_datasets, table3_efficiency, table4_ablation
 from repro.experiments.common import ExperimentSetting, format_table
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the knowledge-graph substrate (entities, relations, graph, Gc, pruning)."""
 
-import numpy as np
 import pytest
 
 from repro.kg import (

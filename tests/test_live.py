@@ -12,7 +12,7 @@ import pytest
 from repro.cggnn import CGGNN, CGGNNConfig, Representations, warm_start_cggnn
 from repro.cluster import ClusterConfig
 from repro.darl import CADRLConfig
-from repro.embeddings import TransEConfig, TransEModel, apply_initial_state, train_transe
+from repro.embeddings import TransEModel, apply_initial_state, train_transe
 from repro.kg import compile_adjacency, patch_adjacency
 from repro.kg.entities import EntityType
 from repro.kg.relations import Relation

@@ -5,7 +5,6 @@ import pytest
 
 from repro import nn
 from repro.nn import Tensor, init
-from repro.nn import functional as F
 
 
 class TestLinearEmbedding:
@@ -225,3 +224,38 @@ class TestOptimisers:
         parameter.grad = np.ones(4) * 0.01
         nn.clip_grad_norm([parameter], max_norm=1.0)
         assert np.allclose(parameter.grad, 0.01)
+
+
+class TestDefaultSeedReproducibility:
+    """Bare constructions (no injected rng) derive from init.DEFAULT_SEED,
+    so two of them are bit-identical — the DET001 seeding convention."""
+
+    def test_linear_default_construction_is_reproducible(self):
+        first, second = nn.Linear(6, 4), nn.Linear(6, 4)
+        assert np.array_equal(first.weight.data, second.weight.data)
+
+    def test_embedding_default_construction_is_reproducible(self):
+        first, second = nn.Embedding(9, 5), nn.Embedding(9, 5)
+        assert np.array_equal(first.weight.data, second.weight.data)
+
+    def test_mlp_default_construction_is_reproducible(self):
+        first, second = nn.MLP((6, 8, 3)), nn.MLP((6, 8, 3))
+        for a, b in zip(first.parameters(), second.parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_recurrent_cells_default_construction_is_reproducible(self):
+        assert np.array_equal(nn.LSTMCell(5, 7).weight_ih.data,
+                              nn.LSTMCell(5, 7).weight_ih.data)
+        assert np.array_equal(nn.GRUCell(5, 7).weight_hh.data,
+                              nn.GRUCell(5, 7).weight_hh.data)
+
+    def test_injected_rng_still_differs_from_default(self):
+        seeded = nn.Linear(6, 4, rng=np.random.default_rng(12345))
+        bare = nn.Linear(6, 4)
+        assert not np.array_equal(seeded.weight.data, bare.weight.data)
+
+    def test_ensure_rng_passthrough_and_fallback(self):
+        generator = np.random.default_rng(3)
+        assert init.ensure_rng(generator) is generator
+        a, b = init.ensure_rng(None), init.ensure_rng()
+        assert np.array_equal(a.random(8), b.random(8))
