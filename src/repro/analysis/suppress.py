@@ -11,6 +11,12 @@ messages can sit above the statement they annotate::
 
 ``ignore[*]`` suppresses every rule on the target line.  Suppressions are
 parsed lexically (no AST) so they also work in files the parser rejects.
+
+Rules in :data:`REASON_REQUIRED` (currently ``EXC001``, the bare/broad
+``except`` rule) only accept a suppression that carries a trailing reason —
+a naked ``# repro: ignore[EXC001]`` does not silence the finding.  Swallowed
+exceptions are exactly where silent faults hide, so every one the tree keeps
+must say why it is safe.
 """
 
 from __future__ import annotations
@@ -20,7 +26,11 @@ from typing import Dict, FrozenSet, Sequence
 
 from .findings import Finding
 
-SUPPRESS_PATTERN = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+SUPPRESS_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_*,\s]+)\]\s*(\S?)")
+
+#: Rules whose suppression must carry a trailing free-text reason.
+REASON_REQUIRED = frozenset({"EXC001"})
 
 _WILDCARD = "*"
 
@@ -28,12 +38,15 @@ _WILDCARD = "*"
 class SuppressionIndex:
     """Maps 1-based line numbers to the set of rule ids suppressed there."""
 
-    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+    def __init__(self, by_line: Dict[int, FrozenSet[str]],
+                 reasoned: Dict[int, FrozenSet[str]]) -> None:
         self._by_line = by_line
+        self._reasoned = reasoned
 
     @classmethod
     def from_source(cls, source_lines: Sequence[str]) -> "SuppressionIndex":
         by_line: Dict[int, FrozenSet[str]] = {}
+        reasoned: Dict[int, FrozenSet[str]] = {}
         for index, text in enumerate(source_lines, start=1):
             match = SUPPRESS_PATTERN.search(text)
             if match is None:
@@ -44,12 +57,16 @@ class SuppressionIndex:
                 continue
             target = index + 1 if text.lstrip().startswith("#") else index
             by_line[target] = by_line.get(target, frozenset()) | rules
-        return cls(by_line)
+            if match.group(2):
+                reasoned[target] = reasoned.get(target, frozenset()) | rules
+        return cls(by_line, reasoned)
 
     def suppresses(self, finding: Finding) -> bool:
         rules = self._by_line.get(finding.line)
         if not rules:
             return False
+        if finding.rule_id in REASON_REQUIRED:
+            rules = self._reasoned.get(finding.line, frozenset())
         return _WILDCARD in rules or finding.rule_id in rules
 
     def __len__(self) -> int:

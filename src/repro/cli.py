@@ -30,6 +30,12 @@ Commands
     any request was shed.  ``--autoscale --min-shards A --max-shards B``
     resizes the cluster mid-replay from shed/queue signals at virtual-time
     ticks (``repro.cluster.Autoscaler``), verified by the scaling oracle.
+    ``--faults PLAN.json`` (or ``--chaos-seed N`` for a seeded random plan)
+    runs the fault-injection plane (``repro.faults``): a fault-free baseline
+    replay of the identical stack first, then the faulted replay with
+    per-shard circuit breakers, bounded retries and the fault ledger,
+    audited by the fault-tolerance oracle — every request answered, every
+    divergent answer carrying ledger-explained ``fault`` provenance.
 ``experiments``
     Run the paper's tables/figures (replaces the old ad-hoc
     ``repro.experiments.runner`` argparse).
@@ -57,6 +63,8 @@ Examples
     python -m repro simulate --shards 4 --replicas 2 --fail-shard 1 --seed 7
     python -m repro simulate --shards 4 --live-ingest 25 --expect-no-shed
     python -m repro simulate --autoscale --min-shards 2 --max-shards 6 --max-queue 8
+    python -m repro simulate --shards 4 --faults examples/fault_plans/latency_storm.json
+    python -m repro simulate --shards 4 --chaos-seed 11 --live-ingest 25
     python -m repro experiments --profile smoke --only table1 fig5
     python -m repro bench --profile smoke --out benchmarks
     python -m repro lint src/ tests/ --format json
@@ -196,6 +204,233 @@ def _command_serve_demo(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_simulate_faults(arguments: argparse.Namespace) -> int:
+    """The ``simulate --faults/--chaos-seed`` path: clean twin, then chaos.
+
+    Two identically-built clustered stacks replay the same workload: the
+    first fault-free (the baseline the standard oracle battery verifies),
+    the second with the :class:`repro.faults.FaultInjector` installed.  The
+    fault-tolerance oracle then audits the faulted records against the
+    baseline and the fault ledger.
+    """
+    import dataclasses
+    import tempfile
+
+    from .cluster import CircuitBreaker, ClusterConfig
+    from .faults import FaultInjector, FaultPlan, ShardDownFault, chaos_plan
+    from .simulate import (
+        ReplayDriver,
+        TraceClock,
+        UserPopulation,
+        WorkloadConfig,
+        generate_workload,
+        render_report,
+        run_fault_oracles,
+        run_live_oracles,
+        run_oracles,
+        summarize,
+    )
+
+    if arguments.faults is not None and arguments.chaos_seed is not None:
+        raise SystemExit("error: pass --faults PLAN.json or --chaos-seed N, "
+                         "not both")
+    if arguments.wall_clock:
+        raise SystemExit("error: fault replays are virtual-time only "
+                         "(the injector and breakers run on the trace "
+                         "clock); drop --wall-clock")
+    if arguments.autoscale:
+        raise SystemExit("error: --faults/--chaos-seed cannot be combined "
+                         "with --autoscale yet")
+
+    result = _result_for_serving(arguments)
+    config = result.config
+    live = bool(arguments.live_ingest)
+
+    # Fault replays always run the cluster path (breakers and failover live
+    # in the router); a 1-shard cluster is legal but has nowhere to fail over.
+    shards = (arguments.shards if arguments.shards is not None
+              else config.cluster.num_shards)
+    if arguments.replicas is not None:
+        replicas = arguments.replicas
+    elif arguments.shards is None:
+        replicas = config.cluster.replication_factor
+    else:
+        replicas = min(2, shards)
+    failed_shards = tuple(arguments.fail_shard or ())
+    bad = [shard for shard in failed_shards if not 0 <= shard < shards]
+    if bad:
+        raise SystemExit(f"error: --fail-shard {bad} outside the "
+                         f"{shards}-shard topology")
+    workload_seed = (arguments.workload_seed
+                     if arguments.workload_seed is not None
+                     else arguments.seed)
+
+    cluster_config = ClusterConfig(
+        num_shards=shards,
+        replication_factor=min(replicas, shards),
+        virtual_nodes=config.cluster.virtual_nodes,
+        max_queue_per_shard=(arguments.max_queue
+                             if arguments.max_queue is not None
+                             else config.cluster.max_queue_per_shard),
+        seed=config.cluster.seed)
+
+    def build_stack():
+        clock = TraceClock()
+        kwargs = {"clock": clock}
+        if arguments.cache_capacity is not None:
+            kwargs["serving_config"] = dataclasses.replace(
+                config.serving, cache_capacity=arguments.cache_capacity)
+        breaker = CircuitBreaker(clock)
+        service = result.cluster_service(cluster_config=cluster_config,
+                                         breaker=breaker, **kwargs)
+        return clock, service
+
+    clock, service = build_stack()
+    population = UserPopulation.from_graph(service.graph)
+    workload = generate_workload(
+        population,
+        WorkloadConfig(num_requests=arguments.requests, seed=workload_seed,
+                       arrival=arguments.arrival),
+        service.graph)
+    print(f"workload: {len(workload)} requests over {workload.duration_s:.2f}s "
+          f"of trace time, seed {workload_seed} "
+          f"(signature {workload.signature()[:16]}…)")
+
+    if arguments.faults is not None:
+        plan = FaultPlan.load(arguments.faults).resolve(workload.duration_s)
+        origin = str(arguments.faults)
+    else:
+        plan = chaos_plan(arguments.chaos_seed, num_shards=shards,
+                          duration_s=workload.duration_s,
+                          include_live=live)
+        origin = f"chaos seed {arguments.chaos_seed}"
+    if failed_shards:
+        # --fail-shard in fault mode is just a one-event plan entry: a
+        # permanent shard-down window starting at t=0 on the injector.
+        plan = FaultPlan(events=plan.events + tuple(
+            ShardDownFault(at_s=0.0, shard_id=shard)
+            for shard in failed_shards))
+    print(f"fault plan: {len(plan.events)} events from {origin} "
+          f"(signature {plan.signature()[:16]}…)")
+    print(f"cluster: {shards} shards × {cluster_config.replication_factor} "
+          f"replicas, circuit breakers on, "
+          f"{cluster_config.max_retries} retries per request")
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-faults-")) if live else None
+
+    def build_session(stack_service, stack_clock, injector, name):
+        if not live:
+            return None
+        from .live import (
+            GenerationBundle,
+            IngestEvent,
+            LiveSession,
+            RefreshConfig,
+            SwapEvent,
+        )
+        from .pipeline.artifacts import ArtifactStore
+
+        duration = workload.duration_s
+        schedule = [IngestEvent(at_s=fraction * duration,
+                                count=arguments.live_ingest,
+                                seed=workload_seed + offset)
+                    for offset, fraction in
+                    enumerate(arguments.ingest_at or [0.35])]
+        schedule += [SwapEvent(at_s=fraction * duration)
+                     for fraction in (arguments.swap_at or [0.6])]
+        root = workdir / name
+        root.mkdir(parents=True, exist_ok=True)
+        return LiveSession(
+            stack_service, GenerationBundle.from_pipeline(result),
+            clock=stack_clock,
+            refresh_config=RefreshConfig(
+                transe_epochs=arguments.refresh_epochs,
+                cggnn_epochs=max(1, arguments.refresh_epochs // 2),
+                seed=workload_seed),
+            schedule=schedule,
+            store=ArtifactStore(root / "store"),
+            injector=injector,
+            log_path=root / "updates.jsonl")
+
+    # ---- pass 1: the fault-free twin (the oracle baseline) ------------- #
+    baseline_session = build_session(service, clock, None, "baseline")
+    baseline_replay = ReplayDriver(baseline_session or service,
+                                   clock=clock).replay(workload)
+    if baseline_session is not None:
+        baseline_reports = run_live_oracles(
+            baseline_session, baseline_replay.records,
+            full_search_sample=arguments.oracle_sample, seed=0)
+    else:
+        baseline_reports = run_oracles(
+            service, baseline_replay.records,
+            full_search_sample=arguments.oracle_sample, seed=0)
+    print(f"baseline replay     {len(baseline_replay.records)} answered, "
+          f"signature {baseline_replay.signature()[:32]}…")
+
+    # ---- pass 2: the same stack with the fault plan installed ---------- #
+    fault_clock, fault_service = build_stack()
+    injector = FaultInjector(plan, fault_clock)
+    injector.install(fault_service)
+    fault_session = build_session(fault_service, fault_clock, injector,
+                                  "faulted")
+    fault_replay = ReplayDriver(fault_session or fault_service,
+                                clock=fault_clock).replay(workload)
+    reports = baseline_reports + run_fault_oracles(
+        fault_replay.records, baseline_replay.records, injector.ledger)
+
+    summary = summarize(fault_replay, reports)
+    summary["workload_seed"] = workload_seed
+    summary["replay_signature"] = fault_replay.signature()
+    summary["baseline_signature"] = baseline_replay.signature()
+    snapshot = fault_service.telemetry_snapshot()
+    for key in ("routing", "admission", "health", "topology"):
+        summary[key] = snapshot[key]
+    if "breaker" in snapshot:
+        summary["breaker"] = snapshot["breaker"]
+    if fault_session is not None:
+        summary["live"] = fault_session.telemetry_snapshot()["live"]
+    ledger = injector.ledger
+    faulted_answers = sum(1 for record in fault_replay.records
+                          if record.fault is not None)
+    summary["faults"] = {
+        "plan_signature": plan.signature(),
+        "plan_events": len(plan.events),
+        "ledger_entries": len(ledger),
+        "ledger_signature": ledger.signature(),
+        "ledger_kinds": {kind: ledger.count(kind) for kind in ledger.kinds()},
+        "answered": len(fault_replay.records),
+        "faulted_answers": faulted_answers,
+    }
+    print()
+    print(render_report(summary))
+    routing = summary["routing"]
+    print("routing             "
+          + "  ".join(f"{key}={routing[key]}"
+                      for key in ("primary", "failover", "overflow", "shed",
+                                  "retries", "faulted")))
+    if "breaker" in summary:
+        print("breaker             "
+              + "  ".join(f"{shard}={state}"
+                          for shard, state in sorted(summary["breaker"].items())))
+    print(f"fault ledger        {len(ledger)} entries: "
+          + "  ".join(f"{kind}={ledger.count(kind)}"
+                      for kind in ledger.kinds()))
+    print(f"faulted answers     {faulted_answers} of "
+          f"{len(fault_replay.records)} carry fault provenance")
+    print(f"replay signature    {fault_replay.signature()[:32]}…")
+    if arguments.summary_json is not None:
+        arguments.summary_json.parent.mkdir(parents=True, exist_ok=True)
+        arguments.summary_json.write_text(
+            json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"wrote summary to {arguments.summary_json}")
+    failed = [report for report in reports if not report.ok]
+    for report in failed:
+        print(f"ORACLE FAILED: {report.summary()}")
+        for finding in report.findings[:10]:
+            print(f"  {finding}")
+    return 1 if failed else 0
+
+
 def _command_simulate(arguments: argparse.Namespace) -> int:
     from .simulate import (
         ReplayDriver,
@@ -207,6 +442,9 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
         run_oracles,
         summarize,
     )
+
+    if arguments.faults is not None or arguments.chaos_seed is not None:
+        return _command_simulate_faults(arguments)
 
     result = _result_for_serving(arguments)
     config = result.config
@@ -547,6 +785,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--replicas", type=int, default=None, metavar="R",
                           help="replication factor (default: min(2, N) when "
                                "--shards is given)")
+    simulate.add_argument("--faults", type=Path, default=None,
+                          metavar="PLAN.json",
+                          help="fault-injection plan (repro.faults schema); "
+                               "replays a fault-free baseline first and "
+                               "audits the faulted replay against it")
+    simulate.add_argument("--chaos-seed", type=int, default=None,
+                          dest="chaos_seed", metavar="N",
+                          help="derive a seeded random fault plan instead of "
+                               "loading one (repro.faults.chaos_plan)")
     simulate.add_argument("--fail-shard", type=int, action="append",
                           default=None, dest="fail_shard", metavar="K",
                           help="mark shard K DOWN at boot (repeatable) — "

@@ -34,6 +34,7 @@ Typical use::
 
 from .admission import AdmissionController, AdmissionStats
 from .autoscale import AutoscaleConfig, Autoscaler, ScaleEvent
+from .breaker import BreakerConfig, BreakerTransition, CircuitBreaker
 from .config import ClusterConfig
 from .health import HealthEvent, HealthModel, ShardStatus, random_schedule
 from .ring import ConsistentHashRing, stable_hash64
@@ -51,6 +52,9 @@ __all__ = [
     "AdmissionStats",
     "AutoscaleConfig",
     "Autoscaler",
+    "BreakerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
     "ClusterConfig",
     "ClusterService",
     "ClusterTelemetry",

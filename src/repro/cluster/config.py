@@ -21,6 +21,11 @@ class ClusterConfig:
     ``failed_shards`` marks shards ``DOWN`` at boot — the deterministic
     failure-injection hook behind ``python -m repro simulate --fail-shard``;
     ``seed`` fixes the hash-ring geometry (which users live on which shard).
+
+    ``max_retries`` bounds how many *other* shards a request may be retried
+    on after its serving shard raises mid-burst; ``retry_backoff_ms`` is the
+    base of the deterministic exponential backoff charged to the retried
+    request's reported latency (virtual time never stalls on it).
     """
 
     num_shards: int = 1
@@ -29,6 +34,8 @@ class ClusterConfig:
     max_queue_per_shard: int = 256
     seed: int = 0
     failed_shards: Tuple[int, ...] = ()
+    max_retries: int = 2
+    retry_backoff_ms: float = 5.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.failed_shards, tuple):
@@ -49,6 +56,10 @@ class ClusterConfig:
             raise ValueError(f"failed_shards {bad} outside [0, {self.num_shards})")
         if len(set(self.failed_shards)) != len(self.failed_shards):
             raise ValueError("failed_shards must be distinct")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be non-negative")
 
     @property
     def is_clustered(self) -> bool:

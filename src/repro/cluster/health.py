@@ -36,7 +36,13 @@ class ShardStatus(str, Enum):
 
 @dataclass(frozen=True, order=True)
 class HealthEvent:
-    """One scheduled status transition, ordered by trace time."""
+    """One scheduled status transition, ordered by trace time.
+
+    Events sharing the same ``at_s`` apply in *scheduling order* (the order
+    the event list gave them to :meth:`HealthModel.schedule`), not in the
+    dataclass field order — so a ``[fail@t, recover@t]`` script
+    deterministically ends recovered.
+    """
 
     at_s: float
     shard_id: int
@@ -59,7 +65,12 @@ class HealthModel:
         if not self._status:
             raise ValueError("health model needs at least one shard")
         self._clock = clock
-        self._pending: List[HealthEvent] = []
+        # (at_s, scheduling seq, event): the seq tie-breaks equal timestamps
+        # so simultaneous events apply in the order they were scheduled —
+        # sorting bare HealthEvents would silently re-order same-instant
+        # ticks by shard id and status string instead.
+        self._pending: List[Tuple[float, int, HealthEvent]] = []
+        self._scheduled = 0
 
     # ------------------------------------------------------------------ #
     # direct control
@@ -99,19 +110,25 @@ class HealthModel:
         if len(self._status) == 1:
             raise ValueError("cannot remove the last shard from the health model")
         del self._status[shard_id]
-        self._pending = [event for event in self._pending
-                         if event.shard_id != shard_id]
+        self._pending = [entry for entry in self._pending
+                         if entry[2].shard_id != shard_id]
 
     # ------------------------------------------------------------------ #
     # scheduled events
     # ------------------------------------------------------------------ #
     def schedule(self, event: HealthEvent) -> None:
-        """Queue one future transition (requires a clock to ever apply)."""
+        """Queue one future transition (requires a clock to ever apply).
+
+        Events due at the same instant apply in scheduling order (a
+        monotonic sequence number breaks the tie), so event-list order is
+        the documented, deterministic simultaneous-event semantics.
+        """
         self._require_shard(event.shard_id)
         if self._clock is None:
             raise RuntimeError("scheduled health events need a clock; "
                                "construct HealthModel(..., clock=...)")
-        bisect.insort(self._pending, event)
+        bisect.insort(self._pending, (event.at_s, self._scheduled, event))
+        self._scheduled += 1
 
     def load_schedule(self, events: Sequence[HealthEvent]) -> None:
         for event in events:
@@ -121,8 +138,8 @@ class HealthModel:
         if self._clock is None or not self._pending:
             return
         now = self._clock()
-        while self._pending and self._pending[0].at_s <= now:
-            event = self._pending.pop(0)
+        while self._pending and self._pending[0][0] <= now:
+            event = self._pending.pop(0)[2]
             self._status[event.shard_id] = event.status
 
     # ------------------------------------------------------------------ #

@@ -42,6 +42,7 @@ from ..serving.service import (
     ServingConfig,
 )
 from .admission import AdmissionController
+from .breaker import CircuitBreaker
 from .config import ClusterConfig
 from .health import HealthModel
 from .ring import ConsistentHashRing
@@ -65,6 +66,8 @@ class RoutingStats:
     failover: int = 0     # primary unavailable → served by a replica/stand-in
     overflow: int = 0     # primary full → served by a replica with capacity
     shed: int = 0         # whole chain saturated → fallback tier chain
+    retries: int = 0      # serve attempts repeated on another shard
+    faulted: int = 0      # answers that carry fault provenance
 
     def count(self, disposition: str) -> None:
         self.requests += 1
@@ -73,7 +76,8 @@ class RoutingStats:
     def as_dict(self) -> Dict[str, int]:
         return {"requests": self.requests, "primary": self.primary,
                 "failover": self.failover, "overflow": self.overflow,
-                "shed": self.shed}
+                "shed": self.shed, "retries": self.retries,
+                "faulted": self.faulted}
 
 
 @dataclass
@@ -105,6 +109,11 @@ class _Dispatch:
     shard_id: int
     disposition: str
     request: RecommendationRequest   # possibly budget-rewritten (shed)
+    #: Fault provenance decided at dispatch time (e.g. "circuit_open").
+    fault: Optional[str] = None
+    #: Serve outside the shard groups with the injector bypassed — the
+    #: router's own degraded answer when no shard is dispatchable.
+    bypass: bool = False
 
 
 class ClusterService:
@@ -120,6 +129,7 @@ class ClusterService:
                  config: Optional[ClusterConfig] = None,
                  clock: Callable[[], float] = time.perf_counter,
                  health: Optional[HealthModel] = None,
+                 breaker: Optional[CircuitBreaker] = None,
                  name: str = "ClusterService") -> None:
         workers = list(services)
         if not workers:
@@ -147,6 +157,22 @@ class ClusterService:
         self.admission = AdmissionController(config.max_queue_per_shard)
         self.routing = RoutingStats()
         self.telemetry = ClusterTelemetry(self.workers)
+        #: Optional per-shard circuit breakers, consulted ahead of the health
+        #: model during dispatch.  ``None`` keeps the legacy routing exactly.
+        self.breaker = breaker
+        #: Optional fault injector (``repro.faults``), attached via
+        #: ``FaultInjector.install``; duck-typed so the cluster never imports
+        #: the faults package.
+        self.injector = None
+        #: The "fault shadow": cache keys whose answers a fault path touched
+        #: (reroute, retry, shed), mapped to the provenance later answers for
+        #: the same key inherit.  A fault can perturb cache *placement* — a
+        #: retried request warms a replica's cache instead of its primary's —
+        #: and the drift outlives the fault itself; conservatively stamping
+        #: every answer downstream of a perturbed key keeps the
+        #: fault-tolerance oracle's contract exact.  Empty (and unread)
+        #: without a breaker or injector.
+        self._fault_shadow: Dict[Tuple[int, int, Tuple[int, ...]], str] = {}
 
     # ------------------------------------------------------------------ #
     # construction over shared artifacts
@@ -156,6 +182,7 @@ class ClusterService:
                    config: Optional[ClusterConfig] = None,
                    serving_config: Optional[ServingConfig] = None,
                    clock: Callable[[], float] = time.perf_counter,
+                   breaker: Optional[CircuitBreaker] = None,
                    name: str = "CADRL (cluster)") -> "ClusterService":
         """A cluster of shard services over one fitted :class:`repro.darl.CADRL`.
 
@@ -185,12 +212,14 @@ class ClusterService:
                 reference.policy, recommender=recommender, transe=transe,
                 config=serving_config, clock=clock,
                 name=f"{name}/shard-{shard}"))
-        return cls(services, config=config, clock=clock, name=name)
+        return cls(services, config=config, clock=clock, breaker=breaker,
+                   name=name)
 
     @classmethod
     def from_artifacts(cls, path, *, config: Optional[ClusterConfig] = None,
                        serving_config: Optional[ServingConfig] = None,
                        clock: Callable[[], float] = time.perf_counter,
+                       breaker: Optional[CircuitBreaker] = None,
                        name: str = "CADRL (cluster from artifacts)"
                        ) -> "ClusterService":
         """Boot a whole cluster from a persisted pipeline directory.
@@ -205,7 +234,7 @@ class ClusterService:
             result.cadrl, transe=result.transe,
             config=config or result.config.cluster,
             serving_config=serving_config or result.config.serving,
-            clock=clock, name=name)
+            clock=clock, breaker=breaker, name=name)
 
     # ------------------------------------------------------------------ #
     # reference surface (oracles, reports, duck-typed callers)
@@ -256,38 +285,90 @@ class ClusterService:
         """The deterministic shard preference order for a user's requests."""
         return self.ring.replicas(user_entity, self.config.replication_factor)
 
+    def _breaker_allows(self, shard_id: int) -> bool:
+        return self.breaker is None or self.breaker.allows(shard_id)
+
+    def _claim(self, shard_id: int) -> int:
+        """Mark the shard as actually dispatched-to (arms a half-open probe)."""
+        if self.breaker is not None:
+            self.breaker.arm_probe(shard_id)
+        return shard_id
+
     def _dispatch(self, request: RecommendationRequest) -> _Dispatch:
-        """Assign one request to a shard under health + admission constraints."""
+        """Assign one request to a shard under breaker + health + admission.
+
+        The circuit breaker is consulted *ahead of* the health model: a shard
+        whose breaker is open is skipped exactly like an unhealthy one, so a
+        repeatedly-failing shard loses traffic long before any scripted
+        health event marks it down.  With no breaker configured the legacy
+        routing is preserved bit for bit.
+        """
         chain = self.replica_chain(request.user_entity)
         primary = chain[0]
-        available = [shard for shard in chain if self.health.is_available(shard)]
+        # Walk the chain once, remembering where a breaker (not health, not
+        # admission) vetoed a healthy shard: any shard chosen *past* that
+        # point is a breaker-caused reroute and its answer carries
+        # ``circuit_open`` provenance — the replica's cache state may
+        # legitimately produce a different (degraded) answer than the clean
+        # replay's primary would have.
+        available: List[int] = []
+        positions: Dict[int, int] = {}
+        first_blocked = len(chain)
+        for position, shard in enumerate(chain):
+            if not self.health.is_available(shard):
+                continue
+            if not self._breaker_allows(shard):
+                first_blocked = min(first_blocked, position)
+                continue
+            positions[shard] = position
+            available.append(shard)
+        breaker_blocked = first_blocked < len(chain)
         for shard in available:
             if self.admission.try_admit(shard):
                 if shard == primary:
                     disposition = "primary"
-                elif self.health.is_available(primary):
+                elif (self.health.is_available(primary)
+                      and self._breaker_allows(primary)):
                     disposition = "overflow"
                 else:
                     disposition = "failover"
-                return _Dispatch(shard, disposition, request)
+                fault = ("circuit_open" if positions[shard] > first_blocked
+                         else None)
+                return _Dispatch(self._claim(shard), disposition, request,
+                                 fault=fault)
         if not available:
             # Whole replica chain is unavailable.  Any healthy shard can
             # stand in (each holds the full model); scan in id order so the
             # choice is deterministic.
-            for shard in self.health.available_shards():
+            healthy = self.health.available_shards()
+            for shard in healthy:
+                if not self._breaker_allows(shard):
+                    continue
                 if self.admission.try_admit(shard):
-                    return _Dispatch(shard, "failover", request)
+                    return _Dispatch(
+                        self._claim(shard), "failover", request,
+                        fault="circuit_open" if breaker_blocked else None)
                 available.append(shard)
             if not available:
-                raise ClusterUnavailableError(
-                    f"no healthy shard left in {self.name} "
-                    f"(health: {self.health.snapshot()})")
+                if not healthy:
+                    raise ClusterUnavailableError(
+                        f"no healthy shard left in {self.name} "
+                        f"(health: {self.health.snapshot()})")
+                # Every healthy shard's breaker is open: answer locally from
+                # the cheap fallback tiers with explicit provenance instead
+                # of hammering shards the breakers just isolated.
+                shed = dataclasses.replace(request, latency_budget_ms=0.0)
+                anchor = next((shard for shard in chain if shard in healthy),
+                              healthy[0])
+                return _Dispatch(anchor, "shed", shed,
+                                 fault="circuit_open", bypass=True)
         # Every available shard is at its queue bound: shed into the first
         # one's fallback tier chain by zeroing the latency budget — the shard
         # then answers from its stale cache or the embedding tier, both far
         # below full-search cost, instead of deepening the queue.
         shed = dataclasses.replace(request, latency_budget_ms=0.0)
-        return _Dispatch(available[0], "shed", shed)
+        return _Dispatch(self._claim(available[0]), "shed", shed,
+                         fault="circuit_open" if breaker_blocked else None)
 
     # ------------------------------------------------------------------ #
     # serving
@@ -309,14 +390,22 @@ class ClusterService:
             dispatch = self._dispatch(request)
             self.routing.count(dispatch.disposition)
             dispatches.append(dispatch)
-            groups.setdefault(dispatch.shard_id, []).append(index)
+            if not dispatch.bypass:
+                groups.setdefault(dispatch.shard_id, []).append(index)
 
         responses: List[Optional[RecommendationResponse]] = [None] * len(dispatches)
         for shard_id in sorted(groups):
-            worker = self.worker(shard_id)
             indices = groups[shard_id]
-            served = worker.service.serve_many(
-                [dispatches[index].request for index in indices])
+            batch = [dispatches[index].request for index in indices]
+            try:
+                served = self._serve_on_shard(shard_id, batch)
+            except Exception as error:  # repro: ignore[EXC001] a faulted shard must fail over per request, never crash the burst; the failure feeds the breaker and is re-served below
+                self._record_shard_failure(shard_id, error)
+                served = [self._serve_with_retry(dispatches[index],
+                                                 requests[index], error)
+                          for index in indices]
+            else:
+                self._record_shard_success(shard_id)
             for index, response in zip(indices, served):
                 if dispatches[index].disposition == "shed":
                     # Restore the caller's request (the zero-budget rewrite is
@@ -326,8 +415,154 @@ class ClusterService:
                     # violation on an unconstrained request.
                     response.request = requests[index]
                     response.shed = True
+                self._apply_fault_provenance(dispatches[index],
+                                             requests[index], response)
+                if response.fault is not None:
+                    self.routing.faulted += 1
+                responses[index] = response
+
+        for index, dispatch in enumerate(dispatches):
+            if dispatch.bypass:
+                response = self._shed_serve(
+                    requests[index], dispatch.shard_id, dispatch.fault)
+                self._apply_fault_provenance(dispatch, requests[index],
+                                             response)
+                self.routing.faulted += 1
                 responses[index] = response
         return responses  # type: ignore[return-value]
+
+    @staticmethod
+    def _shadow_key(request: RecommendationRequest
+                    ) -> Tuple[int, int, Tuple[int, ...]]:
+        """The result-cache identity of a request (the fault-shadow key)."""
+        return (request.user_entity, request.top_k,
+                tuple(sorted(request.exclude_items)))
+
+    def _apply_fault_provenance(self, dispatch: _Dispatch,
+                                request: RecommendationRequest,
+                                response: RecommendationResponse) -> None:
+        """Stamp and propagate fault provenance for one answered request.
+
+        Provenance precedence: whatever the serve path already stamped (shed
+        and retry answers), then the dispatch decision (breaker reroutes),
+        then the fault shadow of the request's cache key.  Any stamped answer
+        taints the key, so answers downstream of fault-perturbed cache state
+        stay accounted for.
+        """
+        if self.breaker is None and self.injector is None:
+            return
+        key = self._shadow_key(request)
+        if response.fault is None:
+            response.fault = dispatch.fault or self._fault_shadow.get(key)
+        if response.fault is not None:
+            self._fault_shadow[key] = response.fault
+
+    # ------------------------------------------------------------------ #
+    # fault path: injector shims, breaker accounting, retries, local sheds
+    # ------------------------------------------------------------------ #
+    def _serve_on_shard(self, shard_id: int,
+                        batch: Sequence[RecommendationRequest]
+                        ) -> List[RecommendationResponse]:
+        """One serve attempt on one shard, through the fault-injection shim."""
+        if self.injector is not None:
+            self.injector.before_shard_serve(shard_id)
+        served = self.worker(shard_id).service.serve_many(batch)
+        if self.injector is not None:
+            penalty = self.injector.latency_penalty_ms(shard_id)
+            if penalty > 0.0:
+                for response in served:
+                    response.latency_ms += penalty
+        return served
+
+    def _record_shard_failure(self, shard_id: int, error: Exception) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure(shard_id, detail=type(error).__name__)
+
+    def _record_shard_success(self, shard_id: int) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success(shard_id)
+
+    def _serve_with_retry(self, dispatch: _Dispatch,
+                          original: RecommendationRequest,
+                          error: Exception) -> RecommendationResponse:
+        """Re-serve one request after its shard failed mid-burst.
+
+        Walks the replica chain (then any healthy stand-in) in deterministic
+        order, bounded by ``config.max_retries``, charging an exponential
+        backoff to the *reported* latency only (virtual time never stalls on
+        a retry).  When the budget runs out the request degrades into the
+        shed path with ``fault="retry_exhausted"`` — it is always answered.
+        """
+        request = dispatch.request
+        chain = self.replica_chain(request.user_entity)
+        candidates = [shard for shard in chain
+                      if shard != dispatch.shard_id
+                      and self.health.is_available(shard)
+                      and self._breaker_allows(shard)]
+        for shard in self.health.available_shards():
+            if (shard != dispatch.shard_id and shard not in candidates
+                    and self._breaker_allows(shard)):
+                candidates.append(shard)
+        backoff_ms = self.config.retry_backoff_ms
+        attempts = 0
+        waited_ms = 0.0
+        for shard_id in candidates:
+            if attempts >= self.config.max_retries:
+                break
+            attempts += 1
+            waited_ms += backoff_ms
+            backoff_ms *= 2.0
+            self.routing.retries += 1
+            if self.injector is not None:
+                self.injector.record_defense(
+                    "retry", f"shard:{shard_id}",
+                    detail=f"user {request.user_entity}, attempt {attempts}")
+            try:
+                response = self._serve_on_shard(self._claim(shard_id),
+                                                [request])[0]
+            except Exception as retry_error:  # repro: ignore[EXC001] a failed retry feeds the breaker and moves on to the next candidate; exhaustion degrades to the shed path below
+                self._record_shard_failure(shard_id, retry_error)
+                continue
+            self._record_shard_success(shard_id)
+            if dispatch.disposition == "shed":
+                response.request = original
+                response.shed = True
+            if response.fault is None:
+                # A successful retry still serves off-primary state: the
+                # answer is only as fresh as the replica's cache, so it
+                # carries (ledger-explained) provenance rather than claiming
+                # bit-identity with the clean replay.
+                response.fault = "retried"
+            response.latency_ms += waited_ms
+            return response
+        if self.injector is not None:
+            self.injector.record_defense(
+                "retry_exhausted", f"user:{original.user_entity}",
+                detail=f"{attempts} retries after {type(error).__name__}")
+        return self._shed_serve(original, dispatch.shard_id,
+                                "retry_exhausted", extra_latency_ms=waited_ms)
+
+    def _shed_serve(self, request: RecommendationRequest, shard_id: int,
+                    fault: Optional[str], *,
+                    extra_latency_ms: float = 0.0) -> RecommendationResponse:
+        """The router's local degraded answer, with explicit fault provenance.
+
+        Serves the zero-budget rewrite on the anchor shard's cheap fallback
+        tiers with the injector *bypassed* — this models the router answering
+        from replicated cache/embedding state, which is what guarantees 100%
+        of requests are answered even when every shard is faulted.
+        """
+        shed_request = dataclasses.replace(request, latency_budget_ms=0.0)
+        response = self.worker(shard_id).service.serve_many([shed_request])[0]
+        response.request = request
+        response.shed = True
+        response.fault = fault
+        response.latency_ms += extra_latency_ms
+        if self.injector is not None and fault == "circuit_open":
+            self.injector.record_defense(
+                "circuit_open_shed", f"shard:{shard_id}",
+                detail=f"user {request.user_entity}")
+        return response
 
     def serve(self, request: RecommendationRequest) -> RecommendationResponse:
         """Answer one request (a singleton burst through the same router)."""
@@ -487,6 +722,8 @@ class ClusterService:
         del self._workers_by_id[shard_id]
         self.health.remove_shard(shard_id)
         self.admission.forget_shard(shard_id)
+        if self.breaker is not None:
+            self.breaker.forget_shard(shard_id)
         migrated = 0
         if warm_migrate:
             for entry in displaced:
@@ -513,6 +750,8 @@ class ClusterService:
         }
         snapshot["generations"] = {str(shard): generation for shard, generation
                                    in self.shard_generations().items()}
+        if self.breaker is not None:
+            snapshot["breaker"] = self.breaker.snapshot()
         return snapshot
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,59 @@
+"""Deterministic fault injection for the serving stack.
+
+``repro.faults`` turns failures into a *replayable input*: a
+:class:`FaultPlan` is a JSON-serialisable script of fault events on the
+virtual trace clock (transient shard exceptions, latency stalls, shards going
+down, byte-level artifact corruption, a crash mid generation swap, torn
+update-log appends), and a :class:`FaultInjector` fires those events through
+shims around the cluster's shard workers, the epoch-swap coordinator and the
+artifact store.  Every firing — and every *defense* action it provokes
+(circuit-breaker trips, retries, quarantines, crash recovery) — lands in an
+ordered :class:`FaultLedger`, so a degraded answer can always be traced to
+the fault that degraded it.
+
+Plans come from JSON files (``repro simulate --faults PLAN.json``) or from a
+seed (:func:`chaos_plan`, ``--chaos-seed N``); both are deterministic, so the
+same plan over the same trace reproduces bit-identical faults, defenses and
+answers — which is exactly what the
+:class:`repro.simulate.FaultToleranceOracle` checks.
+"""
+
+from .injector import (
+    FaultError,
+    FaultInjector,
+    FaultLedger,
+    InjectedCrash,
+    InjectedException,
+    InjectedStall,
+    LedgerEntry,
+)
+from .plan import (
+    ArtifactCorruptionFault,
+    CrashMidSwapFault,
+    FaultPlan,
+    LatencyFault,
+    ShardDownFault,
+    ShardExceptionFault,
+    TornLogFault,
+    chaos_plan,
+    fault_from_dict,
+)
+
+__all__ = [
+    "ArtifactCorruptionFault",
+    "CrashMidSwapFault",
+    "FaultError",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedException",
+    "InjectedStall",
+    "LatencyFault",
+    "LedgerEntry",
+    "ShardDownFault",
+    "ShardExceptionFault",
+    "TornLogFault",
+    "chaos_plan",
+    "fault_from_dict",
+]

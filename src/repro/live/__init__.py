@@ -22,6 +22,7 @@ from .log import (
     ItemDelta,
     NewItemInteraction,
     RelationDelta,
+    TornLogError,
     UpdateDelta,
     UpdateLog,
     delta_from_dict,
@@ -35,11 +36,13 @@ from .refresh import (
     save_generation,
 )
 from .session import IngestEvent, LiveEvent, LiveSession, SwapEvent
-from .swap import EpochSwapCoordinator, SwapReport
+from .swap import EpochSwapCoordinator, SwapInterrupted, SwapReport
 
 __all__ = [
     "AppliedDelta",
     "EpochSwapCoordinator",
+    "SwapInterrupted",
+    "TornLogError",
     "GenerationBundle",
     "IngestEvent",
     "InteractionDelta",

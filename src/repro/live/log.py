@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -27,6 +28,20 @@ import numpy as np
 from ..kg.entities import EntityType
 from ..kg.graph import KnowledgeGraph
 from ..kg.relations import Relation
+
+PathLike = Union[str, Path]
+
+
+class TornLogError(RuntimeError):
+    """A persisted update log is corrupt beyond torn-tail recovery.
+
+    Carries the offending ``path``; raised for mid-file damage always, and
+    for a torn tail only when the caller asked not to recover.
+    """
+
+    def __init__(self, message: str, path: PathLike) -> None:
+        super().__init__(f"{message} [{path}]")
+        self.path = Path(path)
 
 
 @dataclass(frozen=True)
@@ -225,6 +240,64 @@ class UpdateLog:
         """SHA-256 over the canonical serialisation of a log slice."""
         canonical = json.dumps(self.to_dicts(offset, upto), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # JSONL persistence (write-ahead durability with torn-tail recovery)
+    # ------------------------------------------------------------------ #
+    def save_jsonl(self, path: PathLike) -> None:
+        """Write the whole log as JSONL, one canonical delta per line."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for delta in self.events:
+                handle.write(json.dumps(delta.to_dict(), sort_keys=True) + "\n")
+
+    def append_jsonl(self, path: PathLike, deltas: Sequence[UpdateDelta]) -> None:
+        """Append deltas to a JSONL log file (creates it if missing)."""
+        with open(path, "a", encoding="utf-8") as handle:
+            for delta in deltas:
+                handle.write(json.dumps(delta.to_dict(), sort_keys=True) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: PathLike, *, recover: bool = True) -> "UpdateLog":
+        """Load a JSONL log, detecting (and by default healing) a torn tail.
+
+        A crash mid-append leaves a final line that is truncated JSON or has
+        no trailing newline.  With ``recover`` the file is truncated back to
+        its last valid record (the write-ahead-log recovery rule) and loading
+        proceeds; without it — or when the corruption is *not* confined to
+        the tail — a :class:`TornLogError` carrying the path is raised, since
+        mid-file damage means lost history that truncation cannot mend.
+        """
+        raw = Path(path).read_bytes().decode("utf-8")
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        deltas: List[UpdateDelta] = []
+        valid_chars = 0
+        for number, line in enumerate(lines):
+            try:
+                deltas.append(delta_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as error:
+                if number != len(lines) - 1:
+                    raise TornLogError(
+                        f"corrupt update-log record on line {number + 1} "
+                        f"(not the tail; truncation would lose history): "
+                        f"{error}", path=path) from error
+                if not recover:
+                    raise TornLogError(
+                        f"torn update-log tail on line {number + 1}: {error}",
+                        path=path) from error
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_chars)
+                break
+            valid_chars += len(line.encode("utf-8")) + 1
+        else:
+            # Every line parsed, but a missing final newline still marks a
+            # torn (incomplete) append of a record that happened to be valid
+            # JSON; heal by rewriting the newline so the file is canonical.
+            if recover and raw and not raw.endswith("\n"):
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write("\n")
+        return cls(deltas)
 
 
 # --------------------------------------------------------------------------- #

@@ -27,9 +27,27 @@ is ever shed because of a swap; the CI smoke test asserts
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .refresh import GenerationBundle
+
+
+class SwapInterrupted(RuntimeError):
+    """A swap died mid-flip (injected crash): the cluster serves mixed
+    generations until :meth:`EpochSwapCoordinator.swap_to` is re-run with
+    ``skip_shards`` set to the shards that already flipped.
+
+    Carries everything the recovery path needs: the ``bundle`` being
+    installed, the ``flipped`` shard ids that already serve it, and the
+    underlying ``cause``.
+    """
+
+    def __init__(self, message: str, *, bundle: GenerationBundle,
+                 flipped: Tuple[int, ...], cause: BaseException) -> None:
+        super().__init__(message)
+        self.bundle = bundle
+        self.flipped = flipped
+        self.cause = cause
 
 
 @dataclass
@@ -65,12 +83,14 @@ class EpochSwapCoordinator:
     report's timestamps live on the serving timeline.
     """
 
-    def __init__(self, cluster, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(self, cluster, clock: Optional[Callable[[], float]] = None,
+                 injector=None) -> None:
         if not hasattr(cluster, "replace_shard_service"):
             raise TypeError("cluster must expose replace_shard_service() "
                             "(a repro.cluster.ClusterService)")
         self.cluster = cluster
         self.clock = clock
+        self.injector = injector
         self.reports: List[SwapReport] = []
 
     # ------------------------------------------------------------------ #
@@ -81,19 +101,36 @@ class EpochSwapCoordinator:
         return reference._clock()
 
     def swap_to(self, bundle: GenerationBundle,
-                touched_entities: Set[int]) -> SwapReport:
+                touched_entities: Set[int],
+                skip_shards: FrozenSet[int] = frozenset()) -> SwapReport:
         """Install ``bundle`` on every shard, lowest shard id first.
 
         Each shard's replacement service is built *before* its flip, keeps
         the outgoing shard's cache and telemetry, and then drops exactly the
         cache entries whose user or items the generation's deltas touched.
+
+        ``skip_shards`` resumes an interrupted swap: shards already flipped
+        by a crashed attempt (the :class:`SwapInterrupted` exception names
+        them) keep their installed service and are not flipped twice.
+
+        With a fault injector attached, an :class:`InjectedCrash` fired
+        between flips surfaces as :class:`SwapInterrupted` — the flips
+        already made stay in place (exactly like a real crash would leave
+        them), and the caller re-runs ``swap_to`` with ``skip_shards`` to
+        finish the rollout.
         """
         started = self._now()
         touched = set(touched_entities)
+        workers = [worker
+                   for worker in sorted(self.cluster.workers,
+                                        key=lambda w: w.shard_id)
+                   if worker.shard_id not in skip_shards]
+        swap_index = (self.injector.on_swap_begin()
+                      if self.injector is not None else -1)
         flip_order: List[int] = []
         invalidated = 0
         preserved = 0
-        for worker in sorted(self.cluster.workers, key=lambda w: w.shard_id):
+        for worker in workers:
             outgoing = worker.service
             incoming = bundle.build_service(
                 serving_config=outgoing.config,
@@ -104,6 +141,16 @@ class EpochSwapCoordinator:
             invalidated += incoming.invalidate_entities(touched)
             preserved += len(incoming.cache)
             flip_order.append(worker.shard_id)
+            if self.injector is not None:
+                try:
+                    self.injector.on_shard_flip(swap_index, len(flip_order),
+                                                len(workers))
+                except Exception as crash:  # repro: ignore[EXC001] an injected mid-swap crash must surface as SwapInterrupted carrying the flipped set, so the session can resume the rollout deterministically
+                    flipped = tuple(sorted(set(skip_shards) | set(flip_order)))
+                    raise SwapInterrupted(
+                        f"swap to generation {bundle.generation} interrupted "
+                        f"after shards {flipped}",
+                        bundle=bundle, flipped=flipped, cause=crash) from crash
         report = SwapReport(
             generation=bundle.generation,
             flip_order=tuple(flip_order),

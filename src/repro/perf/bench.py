@@ -17,6 +17,10 @@
   small streaming delta burst, delta patch
   (:func:`repro.kg.patch_adjacency`) vs full recompile — the live-update
   hot path; gated on the speedup ratio.
+* **Fault-path overhead** — the same fault-free virtual-time replay through
+  a bare cluster vs one wearing circuit breakers plus an empty-plan
+  :class:`repro.faults.FaultInjector`; reports the armored/bare overhead
+  ratio and checks the answers stayed bit-identical (trend, not gated).
 
 Both sides of every pair run interleaved in the same process on the same
 data, and the gateable numbers are the *speedup ratios* — machine-independent
@@ -433,6 +437,60 @@ def bench_autoscale(result: PipelineResult,
     }
 
 
+def bench_fault_overhead(result: PipelineResult,
+                         profile: BenchProfile) -> Dict[str, float]:
+    """Cost of the armored fault path on a fault-free replay.
+
+    The same seeded virtual-time workload replays twice: through a bare
+    cluster (no breaker, no injector — the legacy dispatch path) and through
+    one wearing the full defensive kit (per-shard circuit breakers plus a
+    fault injector carrying an *empty* plan, so every hook fires but no
+    fault ever does).  The overhead ratio is the price every chaos-free
+    request pays for the breaker consult, the injector shims, and the
+    provenance bookkeeping.  Both replays must produce bit-identical
+    signatures — an armored cluster that never sees a fault must not change
+    a single answer.  Trend metric, not gated (in-process wall time).
+    """
+    from ..cluster import CircuitBreaker, ClusterConfig, ClusterService
+    from ..faults import FaultInjector, FaultPlan
+    from ..simulate import ReplayDriver, TraceClock, UserPopulation, \
+        WorkloadConfig, generate_workload
+
+    graph = result.graph
+    population = UserPopulation.from_graph(graph)
+    workload = generate_workload(
+        population,
+        WorkloadConfig(num_requests=profile.autoscale_requests,
+                       seed=profile.seed),
+        graph)
+    serving_config = ServingConfig(cache_capacity=max(4 * profile.beam_users, 64))
+    cluster_config = ClusterConfig(num_shards=profile.cluster_shards,
+                                   replication_factor=profile.cluster_replicas)
+
+    def replay(armored: bool):
+        clock = TraceClock()
+        breaker = CircuitBreaker(clock=clock) if armored else None
+        cluster = ClusterService.from_cadrl(
+            result.cadrl, transe=result.transe, config=cluster_config,
+            serving_config=serving_config, clock=clock, breaker=breaker,
+            name=f"bench ({'armored' if armored else 'bare'})")
+        if armored:
+            FaultInjector(FaultPlan(events=()), clock).install(cluster)
+        return ReplayDriver(cluster, clock=clock).replay(workload)
+
+    repeats = max(profile.repeats - 2, 1)
+    bare_s, armored_s = _median_ab(lambda: replay(False),
+                                   lambda: replay(True), repeats)
+    count = len(workload)
+    return {
+        "bare_qps": count / bare_s,
+        "armored_qps": count / armored_s,
+        "overhead_ratio": armored_s / bare_s,
+        "identical_signatures": float(replay(False).signature()
+                                      == replay(True).signature()),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # orchestration
 # --------------------------------------------------------------------------- #
@@ -475,6 +533,7 @@ def run_bench(profile: Union[str, BenchProfile],
     metrics["cluster"] = bench_cluster(result, profile)
     metrics["csr_patch"] = bench_csr_patch(result, profile)
     metrics["autoscale"] = bench_autoscale(result, profile)
+    metrics["fault_overhead"] = bench_fault_overhead(result, profile)
 
     return {
         "meta": {
@@ -615,4 +674,11 @@ def render_report(document: Dict) -> str:
             f"static-large {scaling['large_shard_ticks']:.0f} "
             f"({scaling['scale_ups']:.0f} ups, {scaling['scale_downs']:.0f} "
             f"downs, {'deterministic' if scaling['deterministic'] else 'NON-DETERMINISTIC'})")
+    if "fault_overhead" in metrics:
+        armor = metrics["fault_overhead"]
+        lines.append(
+            f"  fault path {armor['armored_qps']:8.1f} QPS armored "
+            f"(bare {armor['bare_qps']:.1f}, "
+            f"overhead {armor['overhead_ratio']:.2f}x, "
+            f"{'identical answers' if armor['identical_signatures'] else 'ANSWERS DIVERGED'})")
     return "\n".join(lines)

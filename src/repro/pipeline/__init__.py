@@ -21,7 +21,8 @@ JSON-round-trippable :class:`RunConfig`:
 The single CLI over this API is ``python -m repro`` (see :mod:`repro.cli`).
 """
 
-from .artifacts import ArtifactStore
+from .artifacts import ArtifactStore, checksum_file
+from .errors import ArtifactError
 from .config import (
     PIPELINE_VERSION,
     STAGE_DEPENDENCIES,
@@ -37,7 +38,9 @@ from .stages import ALL_STAGES, PipelineContext, Stage
 
 __all__ = [
     "ALL_STAGES",
+    "ArtifactError",
     "ArtifactStore",
+    "checksum_file",
     "DataConfig",
     "EvalConfig",
     "PIPELINE_VERSION",

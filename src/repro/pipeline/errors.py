@@ -1,6 +1,29 @@
-"""Shared pipeline exception (its own module so stages can raise it without
-importing the orchestrator)."""
+"""Shared pipeline exceptions (their own module so stages can raise them
+without importing the orchestrator)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
 
 
 class PipelineError(RuntimeError):
     """A pipeline could not run, verify or load as requested."""
+
+
+class ArtifactError(PipelineError):
+    """A persisted artifact is corrupt, truncated or failed verification.
+
+    Carries the offending ``path`` so callers (and humans reading stack
+    traces) can see *which* file is bad without re-parsing the message.
+    """
+
+    def __init__(self, message: str,
+                 path: Optional[Union[str, Path]] = None) -> None:
+        #: The path-free description — safe for deterministic records (e.g.
+        #: the fault ledger) that must not embed machine-local paths.
+        self.message = message
+        if path is not None:
+            message = f"{message} [{path}]"
+        super().__init__(message)
+        self.path = Path(path) if path is not None else None

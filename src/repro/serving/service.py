@@ -135,6 +135,14 @@ class RecommendationResponse:
     #: Artifact generation that computed the payload (cache hits report the
     #: generation of the *cached* answer, not the serving service's own).
     generation: int = 0
+    #: Fault provenance: ``None`` on the fault-free path, otherwise why the
+    #: answer may deviate from the fault-free replay — ``"circuit_open"``
+    #: (breakers rerouted or shed the request), ``"retried"`` (served via the
+    #: retry path, or from cache state a retry perturbed),
+    #: ``"retry_exhausted"`` (the retry budget ran out),
+    #: ``"quarantined"`` (a corrupt generation was refused at swap time) or
+    #: ``"swap_interrupted"`` (served while a crashed swap awaits recovery).
+    fault: Optional[str] = None
 
     @property
     def explainable(self) -> bool:

@@ -28,12 +28,14 @@ Typical use::
 from .oracles import (
     CrossGenerationOracle,
     FallbackValidityOracle,
+    FaultToleranceOracle,
     FullSearchOracle,
     OracleFinding,
     OracleReport,
     ScalingOracle,
     StaleConsistencyOracle,
     run_autoscale_oracles,
+    run_fault_oracles,
     run_live_oracles,
     run_oracles,
 )
@@ -52,6 +54,7 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "CrossGenerationOracle",
     "FallbackValidityOracle",
+    "FaultToleranceOracle",
     "FullSearchOracle",
     "OracleFinding",
     "OracleReport",
@@ -70,6 +73,7 @@ __all__ = [
     "render_report",
     "replay_telemetry",
     "run_autoscale_oracles",
+    "run_fault_oracles",
     "run_live_oracles",
     "run_oracles",
     "summarize",

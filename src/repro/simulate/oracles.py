@@ -20,9 +20,15 @@ the tiers it understands and reports mismatches as :class:`OracleFinding`\\ s:
   is stamped with the artifact generation that computed it; each answer must
   be valid *against that generation's tables* (pre-swap answers against
   generation N, post-swap against N+1, never a torn mix of both).
+* :class:`FaultToleranceOracle` — under an injected fault plan, every request
+  is still answered, and every answer is either bit-identical (items) to the
+  fault-free same-seed replay or carries degraded ``fault`` provenance that a
+  fault-ledger entry explains.  Divergence without provenance, and provenance
+  without a matching ledgered cause, are both findings.
 
 ``run_oracles`` wires the first three to a service and a record list;
-``run_live_oracles`` runs the live battery over a generation ledger.
+``run_live_oracles`` runs the live battery over a generation ledger;
+``run_fault_oracles`` audits a faulted replay against its clean twin.
 """
 
 from __future__ import annotations
@@ -464,6 +470,76 @@ class ScalingOracle:
                 computed[key] = record.items
 
 
+class FaultToleranceOracle:
+    """Self-healing audit: a faulted replay against its fault-free twin.
+
+    ``baseline_records`` come from a same-seed replay of the identical stack
+    with no faults injected; ``ledger`` is the run's
+    :class:`repro.faults.FaultLedger` (anything exposing ``kinds()``).  The
+    oracle enforces the fault-tolerance contract:
+
+    * **100% answered** — the faulted replay serves exactly as many requests
+      as the clean one (faults may degrade answers, never drop them);
+    * **explained divergence only** — an answer whose items differ from the
+      clean replay must carry ``fault`` provenance, and that provenance must
+      map to at least one ledgered fault kind that can cause it;
+    * **no phantom provenance** — a ``fault`` stamp whose explaining fault
+      kind never fired (per the ledger) is itself a finding.
+
+    Items are the identity: a retried answer may legitimately come off a
+    replica with different tier/cache placement, but the *payload* must match
+    the clean replay unless provenance says otherwise.
+    """
+
+    name = "fault_tolerance_oracle"
+
+    #: fault provenance value → ledger entry kinds that explain it.
+    PROVENANCE_EXPLANATIONS = {
+        "circuit_open": frozenset({"breaker_open"}),
+        "retried": frozenset({"retry"}),
+        "retry_exhausted": frozenset({"shard_exception", "latency_stall",
+                                      "shard_down"}),
+        "quarantined": frozenset({"quarantine"}),
+        "swap_interrupted": frozenset({"crash_mid_swap"}),
+    }
+
+    def __init__(self, baseline_records: Sequence[RequestRecord],
+                 ledger=None) -> None:
+        self.baseline = list(baseline_records)
+        self.ledger = ledger
+
+    def check(self, records: Sequence[RequestRecord]) -> OracleReport:
+        report = OracleReport(oracle=self.name)
+        if len(records) != len(self.baseline):
+            report.findings.append(OracleFinding(
+                oracle=self.name, index=len(records), user_entity=-1,
+                message=f"faulted replay answered {len(records)} requests, "
+                        f"clean replay answered {len(self.baseline)} — every "
+                        f"request must be answered under faults"))
+        ledger_kinds = (set(self.ledger.kinds())
+                        if self.ledger is not None else set())
+        for record, base in zip(records, self.baseline):
+            report.checked += 1
+            if record.fault is None:
+                if record.items != base.items:
+                    report.add(record,
+                               f"items {list(record.items)} diverge from the "
+                               f"fault-free replay's {list(base.items)} with "
+                               f"no fault provenance")
+                continue
+            explains = self.PROVENANCE_EXPLANATIONS.get(record.fault)
+            if explains is None:
+                report.add(record,
+                           f"unknown fault provenance {record.fault!r}")
+            elif not explains & ledger_kinds:
+                report.add(record,
+                           f"fault provenance {record.fault!r} but no "
+                           f"explaining fault in the ledger (needs one of "
+                           f"{sorted(explains)}; ledger has "
+                           f"{sorted(ledger_kinds)})")
+        return report
+
+
 def run_oracles(service, records: Sequence[RequestRecord],
                 full_search_sample: Optional[int] = None,
                 seed: int = 0) -> List[OracleReport]:
@@ -509,3 +585,17 @@ def run_autoscale_oracles(autoscaler, records: Sequence[RequestRecord],
     return run_oracles(autoscaler, records,
                        full_search_sample=full_search_sample,
                        seed=seed) + [ScalingOracle(autoscaler).check(records)]
+
+
+def run_fault_oracles(records: Sequence[RequestRecord],
+                      baseline_records: Sequence[RequestRecord],
+                      ledger=None) -> List[OracleReport]:
+    """The fault-replay battery: the self-healing contract check.
+
+    Runs over the *faulted* records; ``baseline_records`` come from the
+    fault-free same-seed replay of an identical stack, ``ledger`` from the
+    run's :class:`repro.faults.FaultInjector`.  Answer validity under
+    degradation is covered by the standard battery run on the clean twin —
+    this battery audits the delta between the two runs.
+    """
+    return [FaultToleranceOracle(baseline_records, ledger).check(records)]

@@ -92,6 +92,10 @@ class RequestRecord:
     #: Artifact generation whose tables computed the payload (live updates);
     #: 0 for single-generation services.
     generation: int = 0
+    #: Fault provenance copied from the response (``None`` on the fault-free
+    #: path): which defense degraded this answer — see
+    #: :class:`repro.serving.RecommendationResponse`.
+    fault: Optional[str] = None
 
     def cache_key(self) -> Tuple[int, int, frozenset]:
         """The result-cache key this request mapped to."""
@@ -178,7 +182,7 @@ class ReplayResult:
             digest.update(repr((record.index, record.user_entity, record.top_k,
                                 record.exclude_items, record.tier.value,
                                 record.source_tier.value, record.cache_hit,
-                                record.shed, record.generation,
+                                record.shed, record.generation, record.fault,
                                 record.items)).encode("utf-8"))
         return digest.hexdigest()
 
@@ -233,6 +237,7 @@ class ReplayDriver:
                     paths=tuple(response.paths) if config.record_paths else (),
                     shed=getattr(response, "shed", False),
                     generation=getattr(response, "generation", 0),
+                    fault=getattr(response, "fault", None),
                 ))
         result.wall_seconds = self.wall_timer() - start
         return result

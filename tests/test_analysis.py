@@ -289,6 +289,41 @@ class TestSuppressions:
         assert index.suppresses(det) and index.suppresses(nan)
         assert not index.suppresses(clk)
 
+    def test_reasonless_exc001_suppression_does_not_suppress(self, tmp_path):
+        report = lint_source(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:  # repro: ignore[EXC001]\n"
+            "        return None\n", tmp_path)
+        assert rule_ids(report) == ["EXC001"]
+
+    def test_reasoned_exc001_suppression_suppresses(self, tmp_path):
+        report = lint_source(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:  # repro: ignore[EXC001] probes may die\n"
+            "        return None\n", tmp_path)
+        assert report.clean
+        assert report.suppressed_count == 1
+
+    def test_reasonless_wildcard_does_not_cover_exc001(self, tmp_path):
+        report = lint_source(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:  # repro: ignore[*]\n"
+            "        return None\n", tmp_path)
+        assert rule_ids(report) == ["EXC001"]
+
+    def test_reasonless_suppression_still_covers_other_rules(self, tmp_path):
+        report = lint_source(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro: ignore[DET001]\n",
+            tmp_path)
+        assert report.clean
+
 
 # --------------------------------------------------------------------------- #
 # baseline round-trip
