@@ -36,6 +36,15 @@ Commands
     per-shard circuit breakers, bounded retries and the fault ledger,
     audited by the fault-tolerance oracle — every request answered, every
     divergent answer carrying ledger-explained ``fault`` provenance.
+    ``--scenario NAME|SPEC.json`` reshapes the generated trace through a
+    :mod:`repro.scenarios` pipeline (flash crowds, cache busters,
+    shard-targeted hot keys, …), and ``--save-trace``/``--trace`` round-trip
+    the final trace to disk for bit-identical replay elsewhere.
+``explore``
+    Sweep scenarios × cluster configs (``repro.scenarios.Explorer``): k
+    seeded episodes per cell through the replay driver and the oracle
+    battery, aggregated into a deterministic comparison matrix (same seed ⇒
+    bit-identical matrix signature; exit 1 on any oracle mismatch).
 ``experiments``
     Run the paper's tables/figures (replaces the old ad-hoc
     ``repro.experiments.runner`` argparse).
@@ -65,6 +74,9 @@ Examples
     python -m repro simulate --autoscale --min-shards 2 --max-shards 6 --max-queue 8
     python -m repro simulate --shards 4 --faults examples/fault_plans/latency_storm.json
     python -m repro simulate --shards 4 --chaos-seed 11 --live-ingest 25
+    python -m repro simulate --scenario cache-buster --save-trace /tmp/trace.json
+    python -m repro simulate --trace /tmp/trace.json --shards 4
+    python -m repro explore --scenario flash-crowd --scenario hot-shard --shards 1 --shards 4
     python -m repro experiments --profile smoke --only table1 fig5
     python -m repro bench --profile smoke --out benchmarks
     python -m repro lint src/ tests/ --format json
@@ -131,6 +143,59 @@ def _result_for_serving(arguments: argparse.Namespace) -> PipelineResult:
 
 def _print_metrics(metrics: dict) -> None:
     print(json.dumps(metrics, indent=2, sort_keys=True, default=str))
+
+
+def _prepare_workload(arguments: argparse.Namespace, service,
+                      workload_seed: int):
+    """The simulate trace, from whichever source the flags name.
+
+    ``--trace PATH`` loads a previously saved trace (schema-checked);
+    otherwise the trace is generated from the seeded config.  Either way an
+    optional ``--scenario NAME|SPEC.json`` then reshapes it against the
+    serving topology (the context carries the cluster's own hash ring), and
+    ``--save-trace PATH`` persists the final trace for bit-identical replay
+    elsewhere.  Shared by the plain and faulted simulate paths.
+    """
+    from .simulate import (UserPopulation, Workload, WorkloadConfig,
+                           WorkloadSchemaError, generate_workload)
+
+    population = UserPopulation.from_graph(service.graph)
+    trace_path = getattr(arguments, "trace", None)
+    if trace_path is not None:
+        try:
+            workload = Workload.load(trace_path)
+        except WorkloadSchemaError as error:
+            raise SystemExit(f"error: --trace {trace_path}: {error}")
+        print(f"trace: loaded {len(workload)} requests from {trace_path} "
+              f"(signature {workload.signature()[:16]}…)")
+    else:
+        workload = generate_workload(
+            population,
+            WorkloadConfig(num_requests=arguments.requests,
+                           seed=workload_seed,
+                           arrival=arguments.arrival),
+            service.graph)
+    scenario_name = getattr(arguments, "scenario", None)
+    if scenario_name is not None:
+        from .scenarios import ScenarioContext, ScenarioError, load_scenario
+
+        try:
+            scenario = load_scenario(scenario_name)
+            workload = scenario.apply(workload, ScenarioContext(
+                graph=service.graph, population=population,
+                ring=getattr(service, "ring", None)))
+        except ScenarioError as error:
+            raise SystemExit(f"error: --scenario {scenario_name}: {error}")
+        print(f"scenario: {scenario.name} "
+              f"({len(scenario.transforms)} transforms, "
+              f"signature {scenario.signature()[:16]}…)")
+    save_path = getattr(arguments, "save_trace", None)
+    if save_path is not None:
+        save_path.parent.mkdir(parents=True, exist_ok=True)
+        workload.save(save_path)
+        print(f"trace: saved {len(workload)} requests to {save_path} "
+              f"(signature {workload.signature()[:16]}…)")
+    return population, workload
 
 
 # --------------------------------------------------------------------------- #
@@ -221,9 +286,6 @@ def _command_simulate_faults(arguments: argparse.Namespace) -> int:
     from .simulate import (
         ReplayDriver,
         TraceClock,
-        UserPopulation,
-        WorkloadConfig,
-        generate_workload,
         render_report,
         run_fault_oracles,
         run_live_oracles,
@@ -286,12 +348,7 @@ def _command_simulate_faults(arguments: argparse.Namespace) -> int:
         return clock, service
 
     clock, service = build_stack()
-    population = UserPopulation.from_graph(service.graph)
-    workload = generate_workload(
-        population,
-        WorkloadConfig(num_requests=arguments.requests, seed=workload_seed,
-                       arrival=arguments.arrival),
-        service.graph)
+    population, workload = _prepare_workload(arguments, service, workload_seed)
     print(f"workload: {len(workload)} requests over {workload.duration_s:.2f}s "
           f"of trace time, seed {workload_seed} "
           f"(signature {workload.signature()[:16]}…)")
@@ -435,9 +492,6 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     from .simulate import (
         ReplayDriver,
         TraceClock,
-        UserPopulation,
-        WorkloadConfig,
-        generate_workload,
         render_report,
         run_oracles,
         summarize,
@@ -537,11 +591,7 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     # workload generation too, so one flag reproduces the entire replay.
     workload_seed = (arguments.workload_seed if arguments.workload_seed is not None
                      else arguments.seed)
-    population = UserPopulation.from_graph(service.graph)
-    workload_config = WorkloadConfig(num_requests=arguments.requests,
-                                     seed=workload_seed,
-                                     arrival=arguments.arrival)
-    workload = generate_workload(population, workload_config, service.graph)
+    population, workload = _prepare_workload(arguments, service, workload_seed)
     print(f"workload: {len(workload)} requests over {workload.duration_s:.2f}s "
           f"of trace time, seed {workload_seed} "
           f"(signature {workload.signature()[:16]}…)")
@@ -672,6 +722,94 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
     for report in failed:
         print(f"ORACLE FAILED: {report.summary()}")
     return 1 if failed else 0
+
+
+def _command_explore(arguments: argparse.Namespace) -> int:
+    """Sweep scenarios × cluster configs: k seeded episodes per cell.
+
+    Every episode builds a fresh virtual-time cluster from the trained
+    stack, generates a seeded trace, reshapes it through the scenario,
+    replays it and runs the oracle battery; the cells aggregate into a
+    deterministic comparison matrix (same seeds ⇒ bit-identical
+    ``signature``).  Exit 1 if any oracle found a mismatch or any request
+    went unanswered.
+    """
+    import dataclasses
+
+    from .scenarios import (ClusterSpec, Explorer, ExplorerConfig,
+                            ScenarioError, load_scenario, render_matrix,
+                            scenario_names)
+    from .simulate import UserPopulation, WorkloadConfig
+
+    result = _result_for_serving(arguments)
+    config = result.config
+
+    try:
+        scenarios = [load_scenario(name)
+                     for name in (arguments.scenario
+                                  or ["baseline", "flash-crowd", "hot-shard"])]
+    except ScenarioError as error:
+        raise SystemExit(f"error: {error}")
+    specs = []
+    for shards in (arguments.shards or [1, 4]):
+        if shards <= 0:
+            raise SystemExit(f"error: --shards {shards} must be positive")
+        replicas = min(arguments.replicas, shards)
+        specs.append(ClusterSpec(
+            name=f"{shards}-shard",
+            num_shards=shards,
+            replication_factor=replicas,
+            virtual_nodes=config.cluster.virtual_nodes,
+            max_queue_per_shard=(arguments.max_queue
+                                 if arguments.max_queue is not None
+                                 else config.cluster.max_queue_per_shard),
+            seed=config.cluster.seed))
+
+    service_kwargs = {}
+    if arguments.cache_capacity is not None:
+        service_kwargs["serving_config"] = dataclasses.replace(
+            config.serving, cache_capacity=arguments.cache_capacity)
+
+    def make_service(cluster_config, clock):
+        return result.cluster_service(cluster_config=cluster_config,
+                                      clock=clock, **service_kwargs)
+
+    explorer = Explorer(
+        make_service,
+        population=UserPopulation.from_graph(result.graph),
+        graph=result.graph,
+        config=ExplorerConfig(
+            episodes=arguments.episodes,
+            seed=arguments.seed,
+            workload=WorkloadConfig(num_requests=arguments.requests,
+                                    seed=0,
+                                    arrival=arguments.arrival),
+            full_search_sample=arguments.oracle_sample))
+    print(f"explore: {len(scenarios)} scenarios × {len(specs)} cluster "
+          f"configs × {arguments.episodes} episodes "
+          f"({arguments.requests} requests each, seed {arguments.seed}; "
+          f"registry: {', '.join(scenario_names())})")
+    matrix = explorer.run(scenarios, specs,
+                          progress=lambda line: print(f"  {line}"))
+    print()
+    print(render_matrix(matrix))
+    if arguments.matrix_json is not None:
+        arguments.matrix_json.parent.mkdir(parents=True, exist_ok=True)
+        payload = matrix.to_dict()
+        payload["signature"] = matrix.signature()
+        arguments.matrix_json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote matrix to {arguments.matrix_json}")
+    mismatches = matrix.total_oracle_mismatches()
+    if mismatches:
+        print(f"ORACLE FAILED: {mismatches} mismatches across the matrix",
+              file=sys.stderr)
+        return 1
+    if not matrix.all_answered():
+        print("ANSWER CHECK FAILED: some requests went unanswered",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _command_bench(arguments: argparse.Namespace) -> int:
@@ -848,7 +986,56 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--summary-json", type=Path, default=None,
                           dest="summary_json", metavar="FILE",
                           help="dump the machine-readable replay summary")
+    simulate.add_argument("--scenario", default=None, metavar="NAME|SPEC.json",
+                          help="reshape the workload through a scenario: a "
+                               "registered name (repro.scenarios) or a JSON "
+                               "spec file (see examples/scenarios/)")
+    simulate.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                          help="replay a saved workload trace instead of "
+                               "generating one (schema-checked)")
+    simulate.add_argument("--save-trace", type=Path, default=None,
+                          dest="save_trace", metavar="FILE",
+                          help="save the final (possibly scenario-reshaped) "
+                               "trace for bit-identical replay elsewhere")
     simulate.set_defaults(handler=_command_simulate)
+
+    explore = commands.add_parser(
+        "explore",
+        help="sweep scenarios × cluster configs, k seeded episodes per cell")
+    _add_config_arguments(explore)
+    explore.add_argument("--artifacts", type=Path, default=None, metavar="DIR")
+    explore.add_argument("--scenario", action="append", default=None,
+                         metavar="NAME|SPEC.json",
+                         help="scenario row of the matrix (repeatable; "
+                              "default: baseline, flash-crowd, hot-shard)")
+    explore.add_argument("--shards", type=int, action="append", default=None,
+                         metavar="N",
+                         help="cluster-config column with N shards "
+                              "(repeatable; default: 1 and 4)")
+    explore.add_argument("--replicas", type=int, default=2, metavar="R",
+                         help="replication factor per column, capped at the "
+                              "shard count (default: 2)")
+    explore.add_argument("--episodes", type=int, default=3, metavar="K",
+                         help="seeded episodes per cell (default: 3)")
+    explore.add_argument("--requests", type=int, default=300,
+                         help="requests per episode trace (default: 300)")
+    explore.add_argument("--arrival", default="bursty",
+                         choices=("uniform", "poisson", "bursty"))
+    explore.add_argument("--max-queue", type=int, default=None,
+                         dest="max_queue", metavar="N",
+                         help="override the per-shard admission queue bound")
+    explore.add_argument("--cache-capacity", type=int, default=None,
+                         dest="cache_capacity", metavar="N",
+                         help="override the per-service result-cache capacity")
+    explore.add_argument("--oracle-sample", type=int, default=25,
+                         dest="oracle_sample",
+                         help="exact-replay oracle sample per episode "
+                              "(default: 25)")
+    explore.add_argument("--matrix-json", type=Path, default=None,
+                         dest="matrix_json", metavar="FILE",
+                         help="dump the comparison matrix (with its "
+                              "signature) as JSON")
+    explore.set_defaults(handler=_command_explore)
 
     bench = commands.add_parser("bench",
                                 help="seeded performance benchmarks with a "

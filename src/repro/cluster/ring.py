@@ -141,3 +141,15 @@ class ConsistentHashRing:
             counts[self.primary(key)] += 1
         total = max(1, len(keys))
         return {shard: counts[shard] / total for shard in sorted(counts)}
+
+    def keys_for_shard(self, keys: Sequence[int], shard_id: int) -> Tuple[int, ...]:
+        """The subset of ``keys`` whose *primary* is ``shard_id``, sorted.
+
+        The inverse lookup hot-key adversaries need: given a candidate key
+        population, which keys land on one chosen shard.  Sorted so callers
+        indexing into it with a seeded rng stay deterministic.
+        """
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id} is not on the ring")
+        return tuple(sorted(key for key in keys
+                            if self.primary(key) == shard_id))

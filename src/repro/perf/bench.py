@@ -21,6 +21,10 @@
   a bare cluster vs one wearing circuit breakers plus an empty-plan
   :class:`repro.faults.FaultInjector`; reports the armored/bare overhead
   ratio and checks the answers stayed bit-identical (trend, not gated).
+* **Adversarial workload** — the same seeded trace replayed as generated vs
+  reshaped by the ``cache-buster`` scenario (:mod:`repro.scenarios`);
+  reports the cache-hit collapse and the slowdown the adversary inflicts
+  (trend, not gated).
 
 Both sides of every pair run interleaved in the same process on the same
 data, and the gateable numbers are the *speedup ratios* — machine-independent
@@ -76,6 +80,7 @@ class BenchProfile:
     cluster_shards: int = 4      # N-shard side of the cluster-throughput pair
     cluster_replicas: int = 2
     patch_deltas: int = 10       # streaming-burst size for the CSR patch bench
+    scenario_requests: int = 300   # trace length for the adversarial bench
     autoscale_requests: int = 400  # bursty-trace length for the autoscale bench
     autoscale_queue: int = 8       # per-shard admission bound (small → sheds)
     autoscale_min: int = 2         # static-small / autoscale floor
@@ -88,8 +93,8 @@ class BenchProfile:
         if min(self.transe_epochs, self.beam_users, self.repeats,
                self.rollout_users, self.beam_top_k, self.beam_width,
                self.max_entity_actions, self.cluster_shards,
-               self.patch_deltas, self.autoscale_requests,
-               self.autoscale_queue) <= 0:
+               self.patch_deltas, self.scenario_requests,
+               self.autoscale_requests, self.autoscale_queue) <= 0:
             raise ValueError("benchmark sizes must be positive")
         if not 1 <= self.cluster_replicas <= self.cluster_shards:
             raise ValueError("cluster_replicas must lie in [1, cluster_shards]")
@@ -491,6 +496,67 @@ def bench_fault_overhead(result: PipelineResult,
     }
 
 
+def bench_adversarial(result: PipelineResult,
+                      profile: BenchProfile) -> Dict[str, float]:
+    """Cost of a cache-busting adversary vs the same trace unmolested.
+
+    One seeded workload replays twice through identically-built virtual-time
+    clusters: as generated (the Zipf skew keeps the result cache useful) and
+    reshaped by the ``cache-buster`` scenario (rotating ``exclude_items`` /
+    ``top_k``, so nearly every request is a distinct cache key and the
+    full-search tier eats the load).  Reports the hit-rate collapse — a
+    trace property, deterministic — and the wall-clock slowdown ratio the
+    adversary inflicts (trend metric, not gated: in-process wall time).
+    ``deterministic`` re-runs the adversarial replay and compares result
+    signatures.
+    """
+    from ..cluster import ClusterConfig, ClusterService
+    from ..scenarios import ScenarioContext, get_scenario
+    from ..simulate import (ReplayDriver, TraceClock, UserPopulation,
+                            WorkloadConfig, generate_workload)
+
+    graph = result.graph
+    population = UserPopulation.from_graph(graph)
+    baseline = generate_workload(
+        population,
+        WorkloadConfig(num_requests=profile.scenario_requests,
+                       seed=profile.seed),
+        graph)
+    adversarial = get_scenario("cache-buster").apply(
+        baseline, ScenarioContext(graph=graph, population=population))
+    serving_config = ServingConfig(cache_capacity=max(4 * profile.beam_users, 64))
+    cluster_config = ClusterConfig(num_shards=profile.cluster_shards,
+                                   replication_factor=profile.cluster_replicas)
+
+    def replay(workload):
+        clock = TraceClock()
+        cluster = ClusterService.from_cadrl(
+            result.cadrl, transe=result.transe, config=cluster_config,
+            serving_config=serving_config, clock=clock,
+            name="bench (adversarial)")
+        return ReplayDriver(cluster, clock=clock).replay(workload)
+
+    repeats = max(profile.repeats - 2, 1)
+    baseline_s, adversarial_s = _median_ab(lambda: replay(baseline),
+                                           lambda: replay(adversarial),
+                                           repeats)
+    baseline_replay = replay(baseline)
+    adversarial_replay = replay(adversarial)
+    count = len(baseline)
+    return {
+        "requests": float(count),
+        "baseline_hit_rate": baseline_replay.cache_hit_rate(),
+        "adversarial_hit_rate": adversarial_replay.cache_hit_rate(),
+        "hit_rate_drop": (baseline_replay.cache_hit_rate()
+                          - adversarial_replay.cache_hit_rate()),
+        "baseline_qps": count / baseline_s,
+        "adversarial_qps": count / adversarial_s,
+        "slowdown_ratio": adversarial_s / baseline_s,
+        "deterministic": float(adversarial_replay.signature()
+                               == replay(adversarial).signature()),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # orchestration
 # --------------------------------------------------------------------------- #
@@ -534,6 +600,7 @@ def run_bench(profile: Union[str, BenchProfile],
     metrics["csr_patch"] = bench_csr_patch(result, profile)
     metrics["autoscale"] = bench_autoscale(result, profile)
     metrics["fault_overhead"] = bench_fault_overhead(result, profile)
+    metrics["adversarial"] = bench_adversarial(result, profile)
 
     return {
         "meta": {
@@ -681,4 +748,12 @@ def render_report(document: Dict) -> str:
             f"(bare {armor['bare_qps']:.1f}, "
             f"overhead {armor['overhead_ratio']:.2f}x, "
             f"{'identical answers' if armor['identical_signatures'] else 'ANSWERS DIVERGED'})")
+    if "adversarial" in metrics:
+        adversary = metrics["adversarial"]
+        lines.append(
+            f"  adversary  hit rate {100 * adversary['adversarial_hit_rate']:.1f}% "
+            f"under cache-buster (baseline "
+            f"{100 * adversary['baseline_hit_rate']:.1f}%, "
+            f"slowdown {adversary['slowdown_ratio']:.2f}x, "
+            f"{'deterministic' if adversary['deterministic'] else 'NON-DETERMINISTIC'})")
     return "\n".join(lines)

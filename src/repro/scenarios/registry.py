@@ -1,0 +1,102 @@
+"""A named registry of scenarios, plus spec-file resolution for the CLI.
+
+Builtins cover the lifelike and adversarial shapes the ROADMAP names —
+diurnal cycles, spliced phase schedules, flash crowds, coordinated crawlers,
+cache-busting adversaries, shard-targeted hot keys — each a plain
+:class:`~repro.scenarios.combinators.Scenario` value you could equally have
+committed as JSON.  ``load_scenario`` resolves a CLI argument either way: a
+registered name, or a path to a ``*.json`` spec (committed examples live
+under ``examples/scenarios/``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Tuple, Union
+
+from .combinators import (CacheBuster, CohortCorrelation, DiurnalModulation,
+                          FlashCrowd, HotShardTargeting, Phase, PhaseSchedule,
+                          Scenario, ScenarioError)
+
+_BUILTINS: Dict[str, Callable[[], Scenario]] = {}
+
+
+def register(name: str, factory: Callable[[], Scenario]) -> None:
+    """Add a named scenario factory (last registration wins)."""
+    _BUILTINS[name] = factory
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """The registered names, sorted (for help text and error messages)."""
+    return tuple(sorted(_BUILTINS))
+
+
+def get_scenario(name: str) -> Scenario:
+    factory = _BUILTINS.get(name)
+    if factory is None:
+        raise ScenarioError(f"unknown scenario {name!r} "
+                            f"(registered: {list(scenario_names())})")
+    return factory()
+
+
+def load_scenario(name_or_path: Union[str, Path]) -> Scenario:
+    """Resolve a CLI scenario argument: registry name or JSON spec path.
+
+    Registry names win; anything else must be a readable spec file, so a
+    typo'd name fails with the full list of valid choices rather than a
+    confusing file-not-found.
+    """
+    text = str(name_or_path)
+    if text in _BUILTINS:
+        return get_scenario(text)
+    path = Path(text)
+    if path.is_file():
+        return Scenario.load(path)
+    raise ScenarioError(f"{text!r} is neither a registered scenario "
+                        f"({list(scenario_names())}) nor a spec file")
+
+
+# --------------------------------------------------------------------------- #
+# builtins
+# --------------------------------------------------------------------------- #
+register("baseline", lambda: Scenario(
+    name="baseline", description="the untouched generated trace"))
+
+register("diurnal", lambda: Scenario(
+    name="diurnal",
+    description="two day/night cycles over the trace span",
+    transforms=(DiurnalModulation(period=0.5, amplitude=0.8),)))
+
+register("phase-mix", lambda: Scenario(
+    name="phase-mix",
+    description="calm uniform open, 5x poisson rush hour, calm close",
+    transforms=(PhaseSchedule(phases=(
+        Phase(start=0.0, arrival="uniform", rate_multiplier=0.5),
+        Phase(start=0.4, arrival="poisson", rate_multiplier=5.0),
+        Phase(start=0.8, arrival="poisson", rate_multiplier=0.5),
+    )),)))
+
+register("flash-crowd", lambda: Scenario(
+    name="flash-crowd",
+    description="an 8x item-popularity shock onto 3 hot users mid-trace",
+    transforms=(FlashCrowd(start=0.4, duration=0.2, rate_multiplier=8.0,
+                           hot_users=3, target_fraction=0.8),)))
+
+register("crawler", lambda: Scenario(
+    name="crawler",
+    description="a coordinated crawler: one cohort per session window, "
+                "every request a fresh cache key",
+    transforms=(CohortCorrelation(num_cohorts=4, session=0.1),
+                CacheBuster(fraction=0.75, rotation=48))))
+
+register("cache-buster", lambda: Scenario(
+    name="cache-buster",
+    description="an adversary rotating exclude_items/top_k to defeat the "
+                "result cache",
+    transforms=(CacheBuster(fraction=0.9, rotation=64, rotate_top_k=True),)))
+
+register("hot-shard", lambda: Scenario(
+    name="hot-shard",
+    description="a hot-key attack concentrating 85% of traffic on one "
+                "ring shard",
+    transforms=(HotShardTargeting(target_shard=0, fraction=0.85),)))

@@ -47,6 +47,7 @@ from .workload import (
     UserPopulation,
     Workload,
     WorkloadConfig,
+    WorkloadSchemaError,
     generate_workload,
 )
 
@@ -69,6 +70,7 @@ __all__ = [
     "UserPopulation",
     "Workload",
     "WorkloadConfig",
+    "WorkloadSchemaError",
     "generate_workload",
     "render_report",
     "replay_telemetry",

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+import math
+from dataclasses import asdict, dataclass, fields
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +39,16 @@ from ..kg.graph import KnowledgeGraph
 from ..serving.service import RecommendationRequest
 
 ARRIVAL_PROCESSES = ("uniform", "poisson", "bursty")
+
+
+class WorkloadSchemaError(ValueError):
+    """A serialised workload payload does not match the trace schema.
+
+    Raised by :meth:`Workload.from_dict` (and therefore ``from_json``/
+    ``load``) on unknown or missing keys and on config values that fail
+    :meth:`WorkloadConfig.validate` — a hand-edited trace file fails loudly
+    at load time instead of silently dropping keys or replaying garbage.
+    """
 
 
 @dataclass(frozen=True)
@@ -74,8 +85,28 @@ class SimulatedRequest:
             "allow_stale": self.allow_stale,
         }
 
+    #: Trace-entry schema: every serialised request must carry the required
+    #: keys, may carry the optional ones, and nothing else.
+    REQUIRED_KEYS = frozenset({"index", "arrival_s", "user_entity", "top_k"})
+    OPTIONAL_KEYS = frozenset({"exclude_items", "latency_budget_ms",
+                               "allow_stale"})
+
     @classmethod
     def from_dict(cls, payload: Dict) -> "SimulatedRequest":
+        missing = cls.REQUIRED_KEYS - payload.keys()
+        if missing:
+            raise WorkloadSchemaError(
+                f"request entry is missing keys {sorted(missing)}: {payload!r}")
+        unknown = payload.keys() - cls.REQUIRED_KEYS - cls.OPTIONAL_KEYS
+        if unknown:
+            raise WorkloadSchemaError(
+                f"request entry has unknown keys {sorted(unknown)} "
+                f"(schema: {sorted(cls.REQUIRED_KEYS | cls.OPTIONAL_KEYS)})")
+        arrival = float(payload["arrival_s"])
+        if not math.isfinite(arrival):
+            raise WorkloadSchemaError(
+                f"request entry {payload['index']!r} has a non-finite "
+                f"arrival_s {payload['arrival_s']!r}")
         return cls(
             index=int(payload["index"]),
             arrival_s=float(payload["arrival_s"]),
@@ -143,10 +174,20 @@ class WorkloadConfig:
     allow_stale_probability: float = 0.5
 
     def validate(self) -> None:
+        # Every numeric comparison below is guarded by an explicit isfinite
+        # check first: ``nan <= 0`` is False, so without it a NaN rate would
+        # sail through and surface later as numpy warnings mid-generation.
         if self.num_requests <= 0:
             raise ValueError("num_requests must be positive")
         if self.arrival not in ARRIVAL_PROCESSES:
             raise ValueError(f"arrival must be one of {ARRIVAL_PROCESSES}")
+        for name in ("mean_qps", "burst_factor", "burst_fraction",
+                     "burst_persistence", "zipf_exponent", "cold_fraction",
+                     "exclude_purchased_fraction", "tight_budget_fraction",
+                     "tight_budget_ms", "allow_stale_probability"):
+            if not math.isfinite(getattr(self, name)):
+                raise ValueError(f"{name} must be finite, "
+                                 f"got {getattr(self, name)!r}")
         if self.mean_qps <= 0:
             raise ValueError("mean_qps must be positive")
         if self.burst_factor < 1.0:
@@ -203,10 +244,32 @@ class Workload:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "Workload":
+        unknown = payload.keys() - {"config", "requests"}
+        if unknown:
+            raise WorkloadSchemaError(
+                f"workload payload has unknown keys {sorted(unknown)} "
+                f"(schema: ['config', 'requests'])")
+        missing = {"config", "requests"} - payload.keys()
+        if missing:
+            raise WorkloadSchemaError(
+                f"workload payload is missing keys {sorted(missing)}")
         config_payload = dict(payload["config"])
-        config_payload["top_k_choices"] = tuple(config_payload["top_k_choices"])
+        known_fields = {spec.name for spec in fields(WorkloadConfig)}
+        unknown = config_payload.keys() - known_fields
+        if unknown:
+            raise WorkloadSchemaError(
+                f"workload config has unknown keys {sorted(unknown)} "
+                f"(schema: {sorted(known_fields)})")
+        if "top_k_choices" in config_payload:
+            config_payload["top_k_choices"] = tuple(config_payload["top_k_choices"])
+        config = WorkloadConfig(**config_payload)
+        try:
+            config.validate()
+        except ValueError as error:
+            raise WorkloadSchemaError(
+                f"workload config is invalid: {error}") from error
         return cls(
-            config=WorkloadConfig(**config_payload),
+            config=config,
             requests=tuple(SimulatedRequest.from_dict(entry)
                            for entry in payload["requests"]),
         )

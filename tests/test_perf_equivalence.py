@@ -375,13 +375,19 @@ class TestBenchEndToEnd:
         from repro.perf import run_bench
 
         profile = BenchProfile(name="micro", scale=0.25, beam_users=6,
-                               rollout_users=3, repeats=1, transe_epochs=1)
+                               rollout_users=3, repeats=1, transe_epochs=1,
+                               scenario_requests=120)
         document = run_bench(profile)
         metrics = document["metrics"]
-        for section in ("transe", "rollouts", "beam_cold", "beam_warm"):
+        for section in ("transe", "rollouts", "beam_cold", "beam_warm",
+                        "adversarial"):
             assert section in metrics
         assert metrics["transe"]["speedup"] > 0
         assert metrics["beam_warm"]["vectorised_qps"] > 0
+        adversarial = metrics["adversarial"]
+        assert adversarial["deterministic"] == 1.0
+        assert (adversarial["adversarial_hit_rate"]
+                < adversarial["baseline_hit_rate"])
         path = write_bench_json(document, tmp_path)
         assert path.exists()
 
